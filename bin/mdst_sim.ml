@@ -1,0 +1,241 @@
+(* mdst_sim — command-line front end.
+
+   Subcommands:
+     run          simulate the self-stabilizing MDST protocol on one graph
+     solve        compare FR / exact / naive baselines on one graph
+     experiments  regenerate the tables and figures of EXPERIMENTS.md
+     families     list the available graph families and named workloads *)
+
+open Cmdliner
+module Graph = Mdst_graph.Graph
+module Tree = Mdst_graph.Tree
+module Gen = Mdst_graph.Gen
+module Run = Mdst_core.Run
+
+let graph_of ~family ~n ~seed ~shuffle_ids ~input =
+  let rng = Mdst_util.Prng.create (seed lxor 0x5eed) in
+  let g =
+    match input with Some path -> Mdst_graph.Io.load path | None -> Gen.by_name family rng ~n
+  in
+  if shuffle_ids then Gen.with_random_ids rng g else g
+
+(* ---- common options ---- *)
+
+let family_arg =
+  let doc =
+    "Graph family: " ^ String.concat ", " Gen.family_names ^ "."
+  in
+  Arg.(value & opt string "er" & info [ "f"; "family" ] ~docv:"FAMILY" ~doc)
+
+let n_arg = Arg.(value & opt int 16 & info [ "n" ] ~docv:"N" ~doc:"Number of nodes (approximate for some families).")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Deterministic seed.")
+
+let shuffle_arg =
+  Arg.(value & flag & info [ "shuffle-ids" ] ~doc:"Assign a random permutation of identifiers (the protocol must not depend on the transport numbering).")
+
+let input_arg =
+  Arg.(value & opt (some file) None & info [ "i"; "input" ] ~docv:"FILE" ~doc:"Load the topology from an edge-list file instead of generating one (see Mdst_graph.Io for the format).")
+
+let save_graph_arg =
+  Arg.(value & opt (some string) None & info [ "save-graph" ] ~docv:"FILE" ~doc:"Write the (generated) topology to $(docv) in edge-list form.")
+
+(* ---- run ---- *)
+
+let init_conv = Arg.enum [ ("clean", `Clean); ("random", `Random) ]
+
+let init_arg =
+  Arg.(value & opt init_conv `Random & info [ "init" ] ~docv:"INIT" ~doc:"Initial configuration: $(b,clean) or $(b,random) (adversarial).")
+
+let latency_arg =
+  let doc = "Latency model: " ^ String.concat ", " Mdst_sim.Latency.names ^ "." in
+  Arg.(value & opt string "uniform" & info [ "latency" ] ~docv:"MODEL" ~doc)
+
+let max_rounds_arg =
+  Arg.(value & opt int Run.default_max_rounds & info [ "max-rounds" ] ~doc:"Abort after this many asynchronous rounds.")
+
+let dot_arg =
+  Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE" ~doc:"Write the final tree as Graphviz DOT to $(docv).")
+
+let oracle_arg =
+  Arg.(value & flag & info [ "no-oracle" ] ~doc:"Do not require the Fürer–Raghavachari fixpoint in the stop condition (quiescence only).")
+
+let trace_arg =
+  Arg.(value & opt int 0 & info [ "trace" ] ~docv:"N" ~doc:"Print the first $(docv) protocol events (ticks excluded, gossip excluded).")
+
+let run_cmd =
+  let action family n seed shuffle input save_graph init latency max_rounds dot no_oracle trace
+      =
+    let graph = graph_of ~family ~n ~seed ~shuffle_ids:shuffle ~input in
+    (match save_graph with
+    | Some path ->
+        Mdst_graph.Io.save path graph;
+        Printf.printf "wrote topology to %s\n" path
+    | None -> ());
+    Printf.printf "graph: %s  n=%d m=%d deg(G)=%d\n%!" family (Graph.n graph) (Graph.m graph)
+      (Graph.max_degree graph);
+    let fixpoint =
+      if no_oracle then fun _ -> true else fun t -> not (Mdst_baseline.Fr.improvable t)
+    in
+    let latency = Mdst_sim.Latency.by_name latency seed in
+    (* With --trace we drive the engine manually so the observer can print
+       as the run unfolds. *)
+    let r =
+      if trace <= 0 then Run.converge ~latency ~seed ~init ~max_rounds ~fixpoint graph
+      else begin
+        let engine = Run.make_engine ~latency ~seed ~init graph in
+        let remaining = ref trace in
+        Run.Engine.observe engine (function
+          | Mdst_sim.Engine.Obs_deliver { src; dst; label; round; time }
+            when label <> "info" && !remaining > 0 ->
+              decr remaining;
+              Printf.printf "  [round %5d | t=%8.1f] %-11s %d -> %d\n" round time label src dst
+          | Mdst_sim.Engine.Obs_deliver _ | Mdst_sim.Engine.Obs_tick _ -> ());
+        let stop = Run.make_stop ~fixpoint () in
+        let outcome = Run.Engine.run engine ~max_rounds ~check_every:2 ~stop () in
+        Run.Engine.unobserve engine;
+        ignore outcome;
+        (* Re-derive the result record via a fresh converge on the same
+           seed — identical by determinism — to keep one code path. *)
+        Run.converge ~latency ~seed ~init ~max_rounds ~fixpoint graph
+      end
+    in
+    Printf.printf "converged: %b\nrounds: %d\nvirtual time: %.1f\nmessages: %d (%d bits)\n"
+      r.converged r.rounds r.time r.total_messages r.total_bits;
+    List.iter (fun (l, c) -> Printf.printf "  %-12s %d\n" l c) r.messages;
+    (match r.degree with
+    | Some d ->
+        Printf.printf "final tree degree: %d\n" d;
+        let fr = Tree.max_degree (Mdst_baseline.Fr.approx_mdst graph) in
+        let lo = max (Mdst_baseline.Exact.lower_bound graph) (fr - 1) in
+        if lo = fr then Printf.printf "FR reference degree: %d (Delta* = %d)\n" fr fr
+        else Printf.printf "FR reference degree: %d (Delta* is %d or %d)\n" fr lo fr
+    | None -> print_endline "no legitimate tree at stop");
+    match (dot, r.tree) with
+    | Some file, Some tree ->
+        let oc = open_out file in
+        output_string oc (Mdst_graph.Dot.tree_to_string tree);
+        close_out oc;
+        Printf.printf "wrote %s\n" file
+    | _ -> ()
+  in
+  let term =
+    Term.(
+      const action $ family_arg $ n_arg $ seed_arg $ shuffle_arg $ input_arg $ save_graph_arg
+      $ init_arg $ latency_arg $ max_rounds_arg $ dot_arg $ oracle_arg $ trace_arg)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Simulate the self-stabilizing MDST protocol on one graph.") term
+
+(* ---- solve ---- *)
+
+let solve_cmd =
+  let action family n seed shuffle input =
+    let graph = graph_of ~family ~n ~seed ~shuffle_ids:shuffle ~input in
+    Printf.printf "graph: %s  n=%d m=%d deg(G)=%d\n%!" family (Graph.n graph) (Graph.m graph)
+      (Graph.max_degree graph);
+    let rng = Mdst_util.Prng.create seed in
+    List.iter
+      (fun spec ->
+        Printf.printf "%-12s degree %d\n" (Mdst_baseline.Naive.name spec)
+          (Mdst_baseline.Naive.degree rng spec graph))
+      Mdst_baseline.Naive.all;
+    let fr = Mdst_baseline.Fr.approx_mdst graph in
+    Printf.printf "%-12s degree %d\n" "FR" (Tree.max_degree fr);
+    if Graph.n graph <= 22 then
+      match Mdst_baseline.Exact.solve graph with
+      | Some r -> Printf.printf "%-12s degree %d (%d expansions)\n" "exact" r.optimum r.expansions
+      | None -> print_endline "exact        budget exhausted"
+    else print_endline "exact        skipped (n > 22)"
+  in
+  let term = Term.(const action $ family_arg $ n_arg $ seed_arg $ shuffle_arg $ input_arg) in
+  Cmd.v (Cmd.info "solve" ~doc:"Compare baseline spanning-tree algorithms on one graph.") term
+
+(* ---- compare ---- *)
+
+let compare_cmd =
+  let action family n seed shuffle input =
+    let graph = graph_of ~family ~n ~seed ~shuffle_ids:shuffle ~input in
+    Printf.printf "graph: %s  n=%d m=%d deg(G)=%d\n%!" family (Graph.n graph) (Graph.m graph)
+      (Graph.max_degree graph);
+    let fr = Tree.max_degree (Mdst_baseline.Fr.approx_mdst graph) in
+    Printf.printf "%-28s degree %d (sequential reference)\n%!" "Fürer–Raghavachari" fr;
+    let fixpoint t = not (Mdst_baseline.Fr.improvable t) in
+    let proto = Run.converge ~seed ~init:`Random ~fixpoint graph in
+    Printf.printf "%-28s degree %s in %d rounds, %d msgs (from corruption)\n%!"
+      "paper protocol"
+      (match proto.degree with Some d -> string_of_int d | None -> "-")
+      proto.rounds proto.total_messages;
+    let bb = Mdst_baseline.Bb.converge ~seed graph in
+    Printf.printf "%-28s degree %s in %d rounds, %d msgs, %d phases (clean start)\n%!"
+      "serialized BB-style [3]"
+      (match bb.degree with Some d -> string_of_int d | None -> "-")
+      bb.rounds bb.total_messages bb.phases_run;
+    Printf.printf "peak state bits: protocol %d vs BB %d\n" proto.max_state_bits
+      bb.max_state_bits
+  in
+  let term = Term.(const action $ family_arg $ n_arg $ seed_arg $ shuffle_arg $ input_arg) in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Head-to-head: the paper's protocol vs the serialized Blin–Butelle-style comparator.")
+    term
+
+(* ---- props ---- *)
+
+let props_cmd =
+  let action family n seed input =
+    let graph = graph_of ~family ~n ~seed ~shuffle_ids:false ~input in
+    List.iter (fun (k, v) -> Printf.printf "%-22s %s\n" k v) (Mdst_graph.Props.summary graph);
+    let h = Mdst_graph.Props.degree_histogram graph in
+    print_string "degree histogram       ";
+    Array.iteri (fun d c -> if c > 0 then Printf.printf "%d:%d " d c) h;
+    print_newline ()
+  in
+  let term = Term.(const action $ family_arg $ n_arg $ seed_arg $ input_arg) in
+  Cmd.v (Cmd.info "props" ~doc:"Print structural statistics of one graph.") term
+
+(* ---- experiments ---- *)
+
+let experiments_cmd =
+  let quick_arg = Arg.(value & flag & info [ "quick" ] ~doc:"Small sizes and fewer seeds.") in
+  let only_arg =
+    Arg.(value & opt (some string) None & info [ "only" ] ~docv:"ID" ~doc:"Run a single experiment (E1..E17).")
+  in
+  let csv_arg =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc:"Also write every table as CSV under $(docv).")
+  in
+  let action quick only csv =
+    (match only with
+    | Some id ->
+        let e = Mdst_analysis.Registry.find id in
+        Printf.printf "%s — %s\nclaim: %s\n\n" e.id e.title e.claim;
+        List.iter Mdst_analysis.Table.print (e.run ~quick ())
+    | None -> Mdst_analysis.Registry.run_all ~quick ());
+    match csv with
+    | Some dir ->
+        let files = Mdst_analysis.Registry.save_csvs ~dir ~quick () in
+        Printf.printf "wrote %d CSV files under %s\n" (List.length files) dir
+    | None -> ()
+  in
+  let term = Term.(const action $ quick_arg $ only_arg $ csv_arg) in
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Regenerate every table and figure of EXPERIMENTS.md.")
+    term
+
+(* ---- families ---- *)
+
+let families_cmd =
+  let action () =
+    print_endline "graph families (use with --family):";
+    List.iter (fun f -> print_endline ("  " ^ f)) Gen.family_names;
+    print_endline "named experiment workloads:";
+    List.iter (fun w -> print_endline ("  " ^ w)) Mdst_analysis.Workloads.names
+  in
+  Cmd.v (Cmd.info "families" ~doc:"List graph families and named workloads.") Term.(const action $ const ())
+
+let () =
+  let doc = "Self-stabilizing minimum-degree spanning tree (Blin et al., IPDPS 2009) simulator" in
+  let info = Cmd.info "mdst_sim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; solve_cmd; compare_cmd; props_cmd; experiments_cmd; families_cmd ]))

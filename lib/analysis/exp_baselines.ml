@@ -1,0 +1,43 @@
+(* E2 / Table 2 — degree-oblivious spanning trees versus the protocol: how
+   much does degree-awareness buy?  (The paper's introduction motivates the
+   problem with exactly this gap: overlay hubs cause congestion and are
+   attack targets.) *)
+
+open Exp_common
+module Naive = Mdst_baseline.Naive
+module Prng = Mdst_util.Prng
+
+let avg xs = Stats.mean (Stats.of_ints xs)
+
+let run ?(quick = false) () =
+  let table =
+    Table.make ~title:"E2: tree degree, degree-oblivious baselines vs FR vs protocol"
+      ~columns:[ "graph"; "n"; "bfs"; "dfs"; "random-walk"; "kruskal"; "FR"; "protocol" ]
+  in
+  let mix =
+    if quick then [ List.nth Workloads.e1_mix 10 ]
+    else
+      List.filteri (fun i _ -> i >= 4) Workloads.e1_mix
+      @ (if quick then [] else [ List.nth Workloads.large_mix 0; List.nth Workloads.large_mix 2 ])
+  in
+  List.iter
+    (fun (w : Workloads.t) ->
+      let graph = w.build 1 in
+      let rng = Prng.create 99 in
+      let sample spec = List.map (fun _ -> Naive.degree rng spec graph) (seeds 3) in
+      let fr_deg = Mdst_graph.Tree.max_degree (Fr.approx_mdst graph) in
+      let proto = run_protocol ~seed:7 graph in
+      Table.add_row table
+        [
+          w.name;
+          Table.cell_int (Graph.n graph);
+          Table.cell_float ~decimals:1 (avg (sample Naive.Bfs));
+          Table.cell_float ~decimals:1 (avg (sample Naive.Dfs));
+          Table.cell_float ~decimals:1 (avg (sample Naive.Random_walk));
+          Table.cell_float ~decimals:1 (avg (sample Naive.Kruskal_random));
+          Table.cell_int fr_deg;
+          Table.cell_opt Table.cell_int proto.degree;
+        ])
+    mix;
+  Table.add_note table "random baselines averaged over 3 draws";
+  [ table ]

@@ -1,0 +1,41 @@
+(* Shared scaffolding for the experiment suite (EXPERIMENTS.md).
+
+   Every experiment runs the real protocol through {!Mdst_core.Run} with the
+   FR fixpoint oracle in the stop condition — a run only counts as converged
+   once the tree admits no further Fürer–Raghavachari improvement, which is
+   the paper's legitimacy notion. *)
+
+module Graph = Mdst_graph.Graph
+module Tree = Mdst_graph.Tree
+module Run = Mdst_core.Run
+module Fr = Mdst_baseline.Fr
+module Exact = Mdst_baseline.Exact
+
+let fixpoint tree = not (Fr.improvable tree)
+
+let run_protocol ?latency ?init ?max_rounds ~seed graph =
+  Run.converge ?latency ?init ?max_rounds ~seed ~fixpoint graph
+
+(* Δ*: exact for small instances, otherwise bracketed by the FR guarantee
+   (deg_FR - 1 <= Δ* <= deg_FR). *)
+type delta_star = Exact_opt of int | Range of int * int
+
+let delta_star ?(exact_limit = 20) graph =
+  let fr_deg = Tree.max_degree (Fr.approx_mdst graph) in
+  if Graph.n graph <= exact_limit then
+    match Exact.solve ~budget:3_000_000 graph with
+    | Some r -> Exact_opt r.optimum
+    | None -> Range (max (Exact.lower_bound graph) (fr_deg - 1), fr_deg)
+  else Range (max (Exact.lower_bound graph) (fr_deg - 1), fr_deg)
+
+let delta_star_cell = function
+  | Exact_opt d -> string_of_int d
+  | Range (lo, hi) -> if lo = hi then string_of_int lo else Printf.sprintf "%d..%d" lo hi
+
+let delta_star_upper = function Exact_opt d -> d | Range (_, hi) -> hi
+
+let within_bound ~degree ds = degree <= delta_star_upper ds + 1
+
+let seeds count = List.init count (fun i -> 101 + (37 * i))
+
+let median_int xs = int_of_float (Float.round (Stats.median (Stats.of_ints xs)))

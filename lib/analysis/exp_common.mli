@@ -1,0 +1,46 @@
+(** Shared scaffolding for the experiment suite.
+
+    Every experiment runs the real protocol through {!Mdst_core.Run} with
+    the Fürer–Raghavachari fixpoint oracle wired into the stop condition: a
+    run only counts as converged once the extracted tree admits no further
+    FR improvement, which is the paper's legitimacy notion. *)
+
+(** Aliases the experiment modules pull in via [open Exp_common]. *)
+
+module Graph = Mdst_graph.Graph
+module Tree = Mdst_graph.Tree
+module Run = Mdst_core.Run
+module Fr = Mdst_baseline.Fr
+module Exact = Mdst_baseline.Exact
+
+val fixpoint : Mdst_graph.Tree.t -> bool
+(** [not (Fr.improvable tree)]. *)
+
+val run_protocol :
+  ?latency:Mdst_sim.Latency.t ->
+  ?init:Mdst_core.Run.init ->
+  ?max_rounds:int ->
+  seed:int ->
+  Mdst_graph.Graph.t ->
+  Mdst_core.Run.result
+
+(** Δ*: exact when the solver finished, otherwise bracketed by the FR
+    guarantee (deg_FR - 1 <= Δ* <= deg_FR, floored by the cut bound). *)
+type delta_star = Exact_opt of int | Range of int * int
+
+val delta_star : ?exact_limit:int -> Mdst_graph.Graph.t -> delta_star
+(** Exact solve attempted for graphs up to [exact_limit] nodes
+    (default 20). *)
+
+val delta_star_cell : delta_star -> string
+
+val delta_star_upper : delta_star -> int
+
+val within_bound : degree:int -> delta_star -> bool
+(** The paper's guarantee, checked against the {e upper} end of the
+    bracket (never optimistic). *)
+
+val seeds : int -> int list
+(** [count] deterministic experiment seeds. *)
+
+val median_int : int list -> int

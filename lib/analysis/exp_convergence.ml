@@ -1,0 +1,69 @@
+(* E1 / Table 1 — the headline claim (Theorem 2): from a clean or arbitrary
+   start, the protocol converges to a spanning tree of degree at most
+   Δ* + 1, across every graph family. *)
+
+open Exp_common
+module Table = Table
+
+let run ?(quick = false) () =
+  let table =
+    Table.make ~title:"E1: convergence to deg(T) <= Delta*+1 (paper Theorem 2)"
+      ~columns:
+        [ "graph"; "n"; "m"; "deg(G)"; "Delta*"; "proto deg"; "FR deg"; "rounds"; "<=D*+1" ]
+  in
+  let mix = if quick then [ List.nth Workloads.e1_mix 0; List.nth Workloads.e1_mix 4; List.nth Workloads.e1_mix 10 ] else Workloads.e1_mix in
+  let all_ok = ref true in
+  List.iter
+    (fun (w : Workloads.t) ->
+      let graph = w.build 1 in
+      let ds = delta_star graph in
+      let fr_deg = Mdst_graph.Tree.max_degree (Fr.approx_mdst graph) in
+      let result = run_protocol ~seed:11 ~init:`Random graph in
+      let degree = match result.degree with Some d -> d | None -> -1 in
+      let ok = result.converged && degree >= 0 && within_bound ~degree ds in
+      if not ok then all_ok := false;
+      Table.add_row table
+        [
+          w.name;
+          Table.cell_int (Graph.n graph);
+          Table.cell_int (Graph.m graph);
+          Table.cell_int (Graph.max_degree graph);
+          delta_star_cell ds;
+          (if degree >= 0 then Table.cell_int degree else "-");
+          Table.cell_int fr_deg;
+          Table.cell_int result.rounds;
+          Table.cell_bool ok;
+        ])
+    mix;
+  Table.add_note table "all runs start from a corrupted (`Random) configuration";
+  Table.add_note table
+    (Printf.sprintf "paper claim deg(T) <= Delta*+1: %s"
+       (if !all_ok then "HOLDS on every instance" else "VIOLATED somewhere (see rows)"));
+  if quick then [ table ]
+  else begin
+    (* Larger instances: Delta* bracketed by the FR bound instead of the
+       exact solver; the check still uses the bracket's upper end. *)
+    let t2 =
+      Table.make ~title:"E1b: larger instances (Delta* bracketed by the FR bound)"
+        ~columns:[ "graph"; "n"; "m"; "Delta*"; "proto deg"; "rounds"; "<=D*+1" ]
+    in
+    List.iter
+      (fun (w : Workloads.t) ->
+        let graph = w.build 1 in
+        let ds = delta_star graph in
+        let result = run_protocol ~seed:11 ~init:`Random graph in
+        let degree = match result.degree with Some d -> d | None -> -1 in
+        let ok = result.converged && degree >= 0 && within_bound ~degree ds in
+        Table.add_row t2
+          [
+            w.name;
+            Table.cell_int (Graph.n graph);
+            Table.cell_int (Graph.m graph);
+            delta_star_cell ds;
+            (if degree >= 0 then Table.cell_int degree else "-");
+            Table.cell_int result.rounds;
+            Table.cell_bool ok;
+          ])
+      Workloads.large_mix;
+    [ table; t2 ]
+  end

@@ -1,0 +1,51 @@
+(* E15 — layer isolation: the spanning-tree + max-degree layers alone
+   (paper §3.2.1/§3.2.3, the Tree_only ablation) versus the full stack.
+
+   Two questions:
+   1. how much of the total convergence time does tree construction
+      account for (the paper's Lemma 5 says the reduction layer dominates
+      asymptotically);
+   2. what tree degree does the bare BFS-style layer settle on — i.e. the
+      quality the reduction layers add. *)
+
+open Exp_common
+module Tree_only = Run.Runner (Mdst_core.Proto.Tree_only)
+
+let run ?(quick = false) () =
+  let table =
+    Table.make ~title:"E15: spanning-tree layer alone vs full protocol (corrupted start)"
+      ~columns:
+        [
+          "graph"; "tree-only rounds"; "full rounds"; "tree-only deg"; "full deg"; "msgs ratio";
+        ]
+  in
+  let graphs =
+    if quick then [ ("er-16", Workloads.er_with ~n:16 ~avg_deg:4.0 61) ]
+    else
+      [
+        ("er-16", Workloads.er_with ~n:16 ~avg_deg:4.0 61);
+        ("er-24", Workloads.er_with ~n:24 ~avg_deg:4.0 62);
+        ("geometric-16", Mdst_graph.Gen.by_name "geometric" (Mdst_util.Prng.create 63) ~n:16);
+        ("ba-24", Mdst_graph.Gen.barabasi_albert (Mdst_util.Prng.create 64) ~n:24 ~k:2);
+      ]
+  in
+  List.iter
+    (fun (name, graph) ->
+      (* The bare layer stops at any legitimate quiescent configuration:
+         there is no reduction to wait for. *)
+      let bare = Tree_only.converge ~seed:19 ~init:`Random ~quiet_rounds:80 graph in
+      let full = run_protocol ~seed:19 ~init:`Random graph in
+      Table.add_row table
+        [
+          name;
+          Table.cell_int bare.rounds;
+          Table.cell_int full.rounds;
+          Table.cell_opt Table.cell_int bare.degree;
+          Table.cell_opt Table.cell_int full.degree;
+          Table.cell_float
+            (float_of_int full.total_messages /. float_of_int (max 1 bare.total_messages));
+        ])
+    graphs;
+  Table.add_note table
+    "tree-only settles on whatever tree the BFS rules build; the reduction layers buy the degree drop";
+  [ table ]

@@ -1,0 +1,75 @@
+(* E3 / Figure A — round complexity scaling (Lemma 5: O(m n^2 log n)).
+
+   Two sweeps on connected Erdős–Rényi graphs: network size n at a fixed
+   average degree, and density at a fixed n.  We report the median
+   rounds-to-legitimacy and the empirical log-log slope; the paper's bound
+   is a worst case, so the measured order should be comfortably below
+   m n^2 log n ~ n^3 log n at fixed average degree. *)
+
+open Exp_common
+
+let run ?(quick = false) () =
+  let sizes = if quick then [ 8; 12; 16 ] else [ 8; 12; 16; 24; 32; 48 ] in
+  let seeds_n = if quick then 2 else 3 in
+  let t1 =
+    Table.make ~title:"E3a: rounds to legitimacy vs n (ER, avg deg 4)"
+      ~columns:[ "n"; "m(median)"; "rounds(median)"; "rounds(p90)"; "msgs(median)" ]
+  in
+  let points = ref [] in
+  List.iter
+    (fun n ->
+      let runs =
+        Mdst_util.Parallel.map
+          (fun seed ->
+            let graph = Workloads.er_with ~n ~avg_deg:4.0 seed in
+            let r = run_protocol ~seed ~init:`Random graph in
+            (Graph.m graph, r.rounds, r.total_messages, r.converged))
+          (seeds seeds_n)
+      in
+      let ok = List.filter (fun (_, _, _, c) -> c) runs in
+      let rounds = List.map (fun (_, r, _, _) -> r) ok in
+      let ms = List.map (fun (m, _, _, _) -> m) ok in
+      let msgs = List.map (fun (_, _, g, _) -> g) ok in
+      if rounds <> [] then begin
+        points := (float_of_int n, Stats.median (Stats.of_ints rounds)) :: !points;
+        Table.add_row t1
+          [
+            Table.cell_int n;
+            Table.cell_int (median_int ms);
+            Table.cell_int (median_int rounds);
+            Table.cell_float ~decimals:0 (Stats.percentile 90.0 (Stats.of_ints rounds));
+            Table.cell_int (median_int msgs);
+          ]
+      end)
+    sizes;
+  (if List.length !points >= 2 then
+     let slope = Stats.loglog_slope !points in
+     Table.add_note t1
+       (Printf.sprintf "empirical order: rounds ~ n^%.2f (paper worst case at fixed avg deg: n^3 log n)"
+          slope));
+  let t2 =
+    Table.make ~title:"E3b: rounds to legitimacy vs density (ER, n=20)"
+      ~columns:[ "avg deg"; "m(median)"; "rounds(median)"; "msgs(median)" ]
+  in
+  let densities = if quick then [ 3.0; 6.0 ] else [ 3.0; 4.5; 6.0; 9.0; 12.0 ] in
+  List.iter
+    (fun avg_deg ->
+      let runs =
+        Mdst_util.Parallel.map
+          (fun seed ->
+            let graph = Workloads.er_with ~n:20 ~avg_deg (seed + 17) in
+            let r = run_protocol ~seed ~init:`Random graph in
+            (Graph.m graph, r.rounds, r.total_messages, r.converged))
+          (seeds seeds_n)
+      in
+      let ok = List.filter (fun (_, _, _, c) -> c) runs in
+      if ok <> [] then
+        Table.add_row t2
+          [
+            Table.cell_float ~decimals:1 avg_deg;
+            Table.cell_int (median_int (List.map (fun (m, _, _, _) -> m) ok));
+            Table.cell_int (median_int (List.map (fun (_, r, _, _) -> r) ok));
+            Table.cell_int (median_int (List.map (fun (_, _, g, _) -> g) ok));
+          ])
+    densities;
+  [ t1; t2 ]

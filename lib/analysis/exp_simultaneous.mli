@@ -1,0 +1,11 @@
+(** E6 — simultaneous max-degree reductions (see the .ml header). *)
+
+val hubby_tree :
+  Mdst_graph.Graph.t -> cliques:int -> clique_size:int -> Mdst_graph.Tree.t
+(** Spanning tree of a star-of-cliques with one maximal hub per clique. *)
+
+val first_drop_rounds : cliques:int -> clique_size:int -> seed:int -> int * int option
+(** (initial tree degree, rounds until deg(T) first drops), or [None] when
+    the drop did not happen within the round budget. *)
+
+val run : ?quick:bool -> unit -> Table.t list

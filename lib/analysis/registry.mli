@@ -1,0 +1,24 @@
+(** The experiment registry: EXPERIMENTS.md identifiers mapped to runners.
+    Both the CLI ([mdst_sim experiments]) and the benchmark binary iterate
+    this list. *)
+
+type entry = {
+  id : string;  (** "E1" .. "E17" *)
+  title : string;
+  claim : string;  (** the paper statement the experiment checks *)
+  run : ?quick:bool -> unit -> Table.t list;
+}
+
+val all : entry list
+
+val find : string -> entry
+(** Case-insensitive. @raise Invalid_argument on unknown identifiers. *)
+
+val ids : string list
+
+val run_all : ?quick:bool -> ?out:(string -> unit) -> unit -> unit
+(** Render every experiment's tables through [out] (default stdout). *)
+
+val save_csvs : dir:string -> ?quick:bool -> unit -> string list
+(** Additionally write every table as a CSV file under [dir] (created if
+    missing); returns the paths written. *)

@@ -1,0 +1,64 @@
+let check_nonempty name = function [] -> invalid_arg ("Stats." ^ name ^ ": empty list") | _ -> ()
+
+let mean xs =
+  check_nonempty "mean" xs;
+  List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let sorted xs = List.sort compare xs
+
+let percentile p xs =
+  check_nonempty "percentile" xs;
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let a = Array.of_list (sorted xs) in
+  let n = Array.length a in
+  if n = 1 then a.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = rank -. float_of_int lo in
+    (a.(lo) *. (1.0 -. frac)) +. (a.(hi) *. frac)
+  end
+
+let median xs = percentile 50.0 xs
+
+let stddev xs =
+  check_nonempty "stddev" xs;
+  match xs with
+  | [ _ ] -> 0.0
+  | _ ->
+      let m = mean xs in
+      let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+      sqrt (ss /. float_of_int (List.length xs - 1))
+
+let minimum xs =
+  check_nonempty "minimum" xs;
+  List.fold_left min infinity xs
+
+let maximum xs =
+  check_nonempty "maximum" xs;
+  List.fold_left max neg_infinity xs
+
+let mean_ci95 xs =
+  let m = mean xs in
+  let n = float_of_int (List.length xs) in
+  (m, 1.96 *. stddev xs /. sqrt n)
+
+let linear_fit pts =
+  if List.length pts < 2 then invalid_arg "Stats.linear_fit: need at least two points";
+  let n = float_of_int (List.length pts) in
+  let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 pts in
+  let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 pts in
+  let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 pts in
+  let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 pts in
+  let denom = (n *. sxx) -. (sx *. sx) in
+  if abs_float denom < 1e-12 then invalid_arg "Stats.linear_fit: degenerate x values";
+  let slope = ((n *. sxy) -. (sx *. sy)) /. denom in
+  (slope, (sy -. (slope *. sx)) /. n)
+
+let loglog_slope pts =
+  let pts = List.filter (fun (x, y) -> x > 0.0 && y > 0.0) pts in
+  let logged = List.map (fun (x, y) -> (log x, log y)) pts in
+  fst (linear_fit logged)
+
+let of_ints = List.map float_of_int

@@ -1,0 +1,30 @@
+(** Small statistics toolbox for the experiment harness. *)
+
+val mean : float list -> float
+(** @raise Invalid_argument on the empty list. *)
+
+val median : float list -> float
+
+val stddev : float list -> float
+(** Sample standard deviation (n-1 denominator); 0 for singletons. *)
+
+val minimum : float list -> float
+
+val maximum : float list -> float
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [\[0, 100\]], linear interpolation. *)
+
+val mean_ci95 : float list -> float * float
+(** Mean and the half-width of a normal-approximation 95% CI. *)
+
+val linear_fit : (float * float) list -> float * float
+(** Least-squares [(slope, intercept)].
+    @raise Invalid_argument with fewer than two points. *)
+
+val loglog_slope : (float * float) list -> float
+(** Slope of log y against log x: the empirical polynomial order used to
+    compare measured round complexity with the paper's O(m n^2 log n).
+    Points with non-positive coordinates are dropped. *)
+
+val of_ints : int list -> float list

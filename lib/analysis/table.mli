@@ -1,0 +1,31 @@
+(** Plain-text tables and CSV for the experiment harness — the output format
+    of every regenerated "table" and "figure" of EXPERIMENTS.md. *)
+
+type t
+
+val make : title:string -> columns:string list -> t
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument when the arity differs from [columns]. *)
+
+val add_note : t -> string -> unit
+(** Free-form footnote printed under the table. *)
+
+val render : t -> string
+(** Aligned ASCII rendering. *)
+
+val to_csv : t -> string
+
+val print : t -> unit
+(** [render] to stdout with a trailing newline. *)
+
+(** Cell formatting helpers. *)
+
+val cell_int : int -> string
+
+val cell_float : ?decimals:int -> float -> string
+
+val cell_bool : bool -> string
+
+val cell_opt : ('a -> string) -> 'a option -> string
+(** [None] renders as ["-"]. *)

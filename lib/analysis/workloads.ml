@@ -1,0 +1,60 @@
+(* The named graph instances the experiments and the CLI share.  Every
+   workload is reproducible: the generator PRNG is seeded from the workload
+   name and the caller's seed. *)
+
+module Gen = Mdst_graph.Gen
+module Graph = Mdst_graph.Graph
+module Prng = Mdst_util.Prng
+
+type t = { name : string; n : int; build : int -> Graph.t }
+
+let rng_for name seed = Prng.create (Prng.seed_of_string name lxor (seed * 7919))
+
+let fixed name g = { name; n = Graph.n g; build = (fun _ -> g) }
+
+let family name n = { name = Printf.sprintf "%s-%d" name n; n; build = (fun seed -> Gen.by_name name (rng_for name seed) ~n) }
+
+(* The headline mix of experiment E1: deterministic structures whose Δ* is
+   known analytically, plus random families. *)
+let e1_mix =
+  [
+    fixed "ring-16" (Gen.ring 16);
+    fixed "wheel-16" (Gen.wheel 16);
+    fixed "petersen" (Gen.petersen ());
+    fixed "hypercube-16" (Gen.hypercube 4);
+    fixed "complete-10" (Gen.complete 10);
+    fixed "grid-4x4" (Gen.grid ~rows:4 ~cols:4);
+    fixed "k-bipartite-3x7" (Gen.complete_bipartite 3 7);
+    fixed "lollipop-8+8" (Gen.lollipop ~clique:8 ~tail:8);
+    fixed "caterpillar-4x3" (Gen.caterpillar ~spine:4 ~legs:3);
+    fixed "bintree-chords-3" (Gen.binary_tree_with_chords ~depth:3);
+    family "er" 16;
+    family "er-dense" 14;
+    family "ba" 18;
+    family "geometric" 16;
+    family "regular" 16;
+  ]
+
+(* Larger instances (no exact solve; FR gives the reference). *)
+let large_mix =
+  [
+    family "er" 48;
+    family "er-dense" 40;
+    family "ba" 48;
+    family "geometric" 48;
+    fixed "hypercube-64" (Gen.hypercube 6);
+    fixed "grid-7x7" (Gen.grid ~rows:7 ~cols:7);
+  ]
+
+let er_with ~n ~avg_deg seed =
+  let p = avg_deg /. float_of_int (n - 1) in
+  Gen.erdos_renyi_connected (rng_for "er-sweep" (seed + (1_000 * n))) ~n ~p
+
+let all_named = e1_mix @ large_mix
+
+let find name =
+  match List.find_opt (fun w -> w.name = name) all_named with
+  | Some w -> w
+  | None -> invalid_arg (Printf.sprintf "Workloads.find: unknown workload %S" name)
+
+let names = List.map (fun w -> w.name) all_named

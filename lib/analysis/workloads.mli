@@ -1,0 +1,28 @@
+(** The named graph instances shared by the experiments and the CLI.
+    Deterministic: a workload's generator PRNG is derived from its name and
+    the caller's seed. *)
+
+type t = {
+  name : string;
+  n : int;  (** approximate node count *)
+  build : int -> Mdst_graph.Graph.t;  (** seed -> instance *)
+}
+
+val e1_mix : t list
+(** The headline mix of experiment E1: deterministic structures with
+    analytically known Δ* plus random families, all small enough for the
+    exact solver. *)
+
+val large_mix : t list
+(** Larger instances (Δ* bracketed by the FR bound instead of solved). *)
+
+val all_named : t list
+
+val names : string list
+
+val find : string -> t
+(** @raise Invalid_argument on unknown workload names. *)
+
+val er_with : n:int -> avg_deg:float -> int -> Mdst_graph.Graph.t
+(** Connected Erdős–Rényi instance at a target average degree — the sweep
+    workload of E3/E4/E5/E8. *)

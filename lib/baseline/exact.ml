@@ -1,0 +1,102 @@
+module Graph = Mdst_graph.Graph
+module Tree = Mdst_graph.Tree
+module Union_find = Mdst_graph.Union_find
+module Algo = Mdst_graph.Algo
+
+type result = { optimum : int; tree : Mdst_graph.Tree.t; expansions : int }
+
+exception Budget_exhausted
+
+exception Found of (int * int) list
+
+(* Decision procedure: spanning tree with all degrees <= [limit]?  Classic
+   include/exclude backtracking over the edge array with three prunes:
+   cycle edges are never included, degree budgets cut the include branch,
+   and a count argument cuts the exclude branch (fewer usable edges left
+   than components still to merge). *)
+let exists_tree graph ~limit ~budget ~expansions =
+  let n = Graph.n graph in
+  let edges = Graph.edges graph in
+  let m = Array.length edges in
+  let deg = Array.make n 0 in
+  let rec go uf used acc i =
+    incr expansions;
+    if !expansions > budget then raise Budget_exhausted;
+    if used = n - 1 then raise (Found acc);
+    if i >= m then ()
+    else begin
+      let components = Union_find.count uf in
+      if m - i >= components - 1 then begin
+        let u, v = edges.(i) in
+        (* Include branch. *)
+        if deg.(u) < limit && deg.(v) < limit && not (Union_find.same uf u v) then begin
+          let uf' = Union_find.copy uf in
+          ignore (Union_find.union uf' u v);
+          deg.(u) <- deg.(u) + 1;
+          deg.(v) <- deg.(v) + 1;
+          go uf' (used + 1) ((u, v) :: acc) (i + 1);
+          deg.(u) <- deg.(u) - 1;
+          deg.(v) <- deg.(v) - 1
+        end;
+        (* Exclude branch. *)
+        go uf used acc (i + 1)
+      end
+    end
+  in
+  match go (Union_find.create n) 0 [] 0 with
+  | () -> None
+  | exception Found edges -> Some edges
+
+let lower_bound graph =
+  let n = Graph.n graph in
+  if n <= 2 then max 1 (n - 1)
+  else begin
+    (* deg_T(v) >= number of components of G - v, for every v. *)
+    let best = ref 2 in
+    for v = 0 to n - 1 do
+      let remaining =
+        Graph.fold_edges graph ~init:[] ~f:(fun acc a b ->
+            if a = v || b = v then acc else (a, b) :: acc)
+      in
+      let uf = Union_find.create n in
+      List.iter (fun (a, b) -> ignore (Union_find.union uf a b)) remaining;
+      (* Components among the n-1 nodes other than v. *)
+      let module IS = Set.Make (Int) in
+      let reps = ref IS.empty in
+      for u = 0 to n - 1 do
+        if u <> v then reps := IS.add (Union_find.find uf u) !reps
+      done;
+      if IS.cardinal !reps > !best then best := IS.cardinal !reps
+    done;
+    !best
+  end
+
+let spanning_tree_with_degree ?(budget = 5_000_000) graph d =
+  if Graph.n graph = 0 || not (Algo.is_connected graph) then
+    invalid_arg "Exact: graph must be connected and non-empty";
+  let expansions = ref 0 in
+  match exists_tree graph ~limit:d ~budget ~expansions with
+  | Some edges -> Some (Tree.of_edge_list graph ~root:(Graph.min_id_node graph) edges)
+  | None -> None
+  | exception Budget_exhausted -> None
+
+let solve ?(budget = 5_000_000) graph =
+  if Graph.n graph = 0 || not (Algo.is_connected graph) then
+    invalid_arg "Exact: graph must be connected and non-empty";
+  let n = Graph.n graph in
+  if n = 1 then
+    Some { optimum = 0; tree = Tree.of_parents graph ~root:0 [| 0 |]; expansions = 0 }
+  else begin
+    let expansions = ref 0 in
+    let rec search d =
+      if d > n - 1 then None
+      else
+        match exists_tree graph ~limit:d ~budget ~expansions with
+        | Some edges ->
+            let tree = Tree.of_edge_list graph ~root:(Graph.min_id_node graph) edges in
+            Some { optimum = Tree.max_degree tree; tree; expansions = !expansions }
+        | None -> search (d + 1)
+        | exception Budget_exhausted -> None
+    in
+    search (lower_bound graph)
+  end

@@ -1,0 +1,32 @@
+(** Exact minimum-degree spanning tree by branch-and-bound.
+
+    MDST is NP-hard (Hamiltonian path reduces to "is Δ* = 2"), so this
+    solver is exponential in the worst case; it exists to certify the
+    Δ* + 1 guarantee on the small instances of experiment E1.  The search
+    asks, for increasing degree bounds D, whether a spanning tree of degree
+    at most D exists, by backtracking over edge inclusion/exclusion with
+    connectivity, bridge and degree-budget pruning. *)
+
+type result = {
+  optimum : int;  (** Δ*: the minimum possible spanning-tree degree *)
+  tree : Mdst_graph.Tree.t;  (** a witness tree of degree Δ* *)
+  expansions : int;  (** search nodes explored, for reporting *)
+}
+
+val solve : ?budget:int -> Mdst_graph.Graph.t -> result option
+(** [solve g] computes Δ* exactly, or returns [None] when the search
+    exceeds [budget] node expansions (default [5_000_000]).
+    @raise Invalid_argument on a disconnected or empty graph. *)
+
+val spanning_tree_with_degree : ?budget:int -> Mdst_graph.Graph.t -> int -> Mdst_graph.Tree.t option
+(** [spanning_tree_with_degree g d] — a spanning tree of degree <= [d], if
+    one exists within budget ([None] means "not found", which is only
+    conclusive if the budget was not exhausted; use {!solve} for the
+    authoritative answer). *)
+
+val lower_bound : Mdst_graph.Graph.t -> int
+(** Cheap combinatorial lower bound on Δ*: every spanning tree needs at
+    least ceil((n-1) / (n - leaves...)) ... concretely we use the
+    max over vertex cuts argument: for any vertex set S, a spanning tree
+    has some node of degree >= (components of G - S + |S| - 1) / |S|.
+    Evaluated over singleton and articulation-based cuts. *)

@@ -1,0 +1,107 @@
+module Graph = Mdst_graph.Graph
+module Tree = Mdst_graph.Tree
+module Algo = Mdst_graph.Algo
+
+(* The tree edge to delete: the cycle edge joining [target] to its successor
+   (or predecessor) on the fundamental-cycle path. *)
+let cycle_edge_at cycle target =
+  let rec go = function
+    | a :: b :: _ when a = target -> Some (a, b)
+    | a :: b :: rest ->
+        if b = target then Some (b, a) else go (b :: rest)
+    | _ -> None
+  in
+  go cycle
+
+(* Cycle-path nodes strictly between the two endpoints. *)
+let interior cycle =
+  match cycle with
+  | [] | [ _ ] -> []
+  | _ :: rest -> ( match List.rev rest with [] -> [] | _last :: mid_rev -> List.rev mid_rev)
+
+(* Reduce the degree of [target] by one through an edge swap, recursively
+   unblocking endpoints of degree [deg target - 1].  Depth-bounded so
+   pathological unblock chains terminate; [visited] prevents re-entering a
+   node within one chain. *)
+let rec attempt tree ~target ~visited ~depth =
+  if depth > Graph.n (Tree.graph tree) then None
+  else begin
+    let k_t = Tree.degree tree target in
+    if k_t < 2 then None
+    else begin
+      let non_tree = Tree.non_tree_edges tree in
+      let through_target =
+        List.filter_map
+          (fun (u, v) ->
+            if u = target || v = target then None
+            else
+              let cycle = Tree.fundamental_cycle tree (u, v) in
+              if List.mem target (interior cycle) then Some ((u, v), cycle) else None)
+          non_tree
+      in
+      (* Direct improvements first (paper Eq. 1). *)
+      let direct =
+        List.find_opt
+          (fun ((u, v), _) -> max (Tree.degree tree u) (Tree.degree tree v) <= k_t - 2)
+          through_target
+      in
+      match direct with
+      | Some ((u, v), cycle) -> (
+          match cycle_edge_at cycle target with
+          | Some (a, b) -> Some (Tree.swap tree ~remove:(a, b) ~add:(u, v))
+          | None -> None)
+      | None ->
+          (* Unblock: lower a blocking endpoint, then retry. *)
+          let rec try_blocked = function
+            | [] -> None
+            | ((u, v), _) :: rest ->
+                let blocked_endpoints =
+                  List.filter
+                    (fun x -> Tree.degree tree x = k_t - 1 && not (List.mem x visited))
+                    [ u; v ]
+                in
+                let rec try_endpoints = function
+                  | [] -> try_blocked rest
+                  | x :: xs -> (
+                      match
+                        attempt tree ~target:x ~visited:(target :: visited) ~depth:(depth + 1)
+                      with
+                      | Some tree' -> (
+                          match attempt tree' ~target ~visited ~depth:(depth + 1) with
+                          | Some tree'' -> Some tree''
+                          | None -> try_endpoints xs)
+                      | None -> try_endpoints xs)
+                in
+                if
+                  max (Tree.degree tree u) (Tree.degree tree v) = k_t - 1
+                  && blocked_endpoints <> []
+                then try_endpoints blocked_endpoints
+                else try_blocked rest
+          in
+          try_blocked through_target
+    end
+  end
+
+let reduce_node_once tree ~target ~visited = attempt tree ~target ~visited ~depth:0
+
+let improve_once tree =
+  let rec try_nodes = function
+    | [] -> None
+    | w :: rest -> (
+        match reduce_node_once tree ~target:w ~visited:[] with
+        | Some tree' -> Some tree'
+        | None -> try_nodes rest)
+  in
+  try_nodes (Tree.max_degree_nodes tree)
+
+let improvable tree = improve_once tree <> None
+
+let run tree =
+  let rec loop tree count =
+    match improve_once tree with Some tree' -> loop tree' (count + 1) | None -> (tree, count)
+  in
+  loop tree 0
+
+let approx_mdst ?root graph =
+  let root = match root with Some r -> r | None -> Graph.min_id_node graph in
+  fst (run (Algo.bfs_tree graph ~root))

@@ -1,0 +1,31 @@
+(** Sequential Fürer–Raghavachari local search (SODA'92 / J.Alg'94): the
+    algorithm the paper builds on, used here both as the centralized
+    comparator and as the oracle that decides whether a tree is at an
+    improvement fixpoint.
+
+    An {e improvement} swaps a non-tree edge [e = {u,v}] for a tree edge of
+    the fundamental cycle C_e incident to a node [w] of maximal degree,
+    provided [deg w >= max(deg u, deg v) + 2] (the paper's Eq. 1).  When the
+    candidate endpoints have degree [k - 1] they are {e blocking} and the
+    algorithm first reduces their degree recursively.  At the fixpoint the
+    tree degree is at most Δ* + 1. *)
+
+val improve_once : Mdst_graph.Tree.t -> Mdst_graph.Tree.t option
+(** One improvement of some maximum-degree node, unblocking recursively if
+    needed; [None] when the tree is at the fixpoint. *)
+
+val improvable : Mdst_graph.Tree.t -> bool
+
+val run : Mdst_graph.Tree.t -> Mdst_graph.Tree.t * int
+(** Iterate {!improve_once} to the fixpoint; also returns the number of
+    improvements applied. *)
+
+val approx_mdst : ?root:int -> Mdst_graph.Graph.t -> Mdst_graph.Tree.t
+(** Start from a BFS tree and run to the fixpoint: a spanning tree of
+    degree at most Δ* + 1. *)
+
+val reduce_node_once :
+  Mdst_graph.Tree.t -> target:int -> visited:int list -> Mdst_graph.Tree.t option
+(** Try to lower [target]'s tree degree by one without raising any node to
+    [deg target] or beyond; recursive unblocking skips nodes in [visited].
+    Exposed for tests and for the ablation benchmark (E11). *)

@@ -1,0 +1,22 @@
+module Graph = Mdst_graph.Graph
+module Algo = Mdst_graph.Algo
+
+type spec = Bfs | Dfs | Random_walk | Kruskal_random
+
+let name = function
+  | Bfs -> "bfs"
+  | Dfs -> "dfs"
+  | Random_walk -> "random-walk"
+  | Kruskal_random -> "kruskal"
+
+let all = [ Bfs; Dfs; Random_walk; Kruskal_random ]
+
+let build rng spec graph =
+  let root = Graph.min_id_node graph in
+  match spec with
+  | Bfs -> Algo.bfs_tree graph ~root
+  | Dfs -> Algo.dfs_tree graph ~root
+  | Random_walk -> Algo.random_spanning_tree rng graph ~root
+  | Kruskal_random -> Algo.kruskal_random_tree rng graph ~root
+
+let degree rng spec graph = Mdst_graph.Tree.max_degree (build rng spec graph)

@@ -1,0 +1,13 @@
+(** Naive spanning-tree baselines for experiment E2: what tree degree do you
+    get with no degree-awareness at all? *)
+
+type spec = Bfs | Dfs | Random_walk | Kruskal_random
+
+val name : spec -> string
+
+val all : spec list
+
+val build : Mdst_util.Prng.t -> spec -> Mdst_graph.Graph.t -> Mdst_graph.Tree.t
+(** Rooted at the minimum-identifier node, like the protocol's result. *)
+
+val degree : Mdst_util.Prng.t -> spec -> Mdst_graph.Graph.t -> int

@@ -1,0 +1,86 @@
+(* Global-state observation: the legitimacy predicate of the paper, evaluated
+   by the test/experiment harness from outside the system (no node ever sees
+   this information).
+
+   A configuration is legitimate when (i) the parent pointers of all nodes
+   form one spanning tree of the communication graph rooted at the
+   minimum-identifier node, and (ii) every node's dmax equals the actual
+   degree of that tree.  Convergence of a run is detected as legitimacy
+   plus quiescence of the protocol variables (see {!Run}). *)
+
+module Graph = Mdst_graph.Graph
+module Tree = Mdst_graph.Tree
+
+type verdict = {
+  tree : Tree.t option;
+  spanning : bool;
+  rooted_at_min_id : bool;
+  dmax_consistent : bool;
+  distances_consistent : bool;
+}
+
+let tree_of_states graph (states : State.t array) =
+  let n = Graph.n graph in
+  let min_node = Graph.min_id_node graph in
+  let parents = Array.make n (-1) in
+  let ok = ref true in
+  for v = 0 to n - 1 do
+    let st = states.(v) in
+    if st.State.parent = Graph.id graph v then parents.(v) <- v
+    else
+      match Graph.index_of_id graph st.State.parent with
+      | p when Graph.mem_edge graph v p -> parents.(v) <- p
+      | _ -> ok := false
+      | exception Not_found -> ok := false
+  done;
+  if (not !ok) || parents.(min_node) <> min_node then None
+  else match Tree.of_parents graph ~root:min_node parents with
+    | tree -> Some tree
+    | exception Tree.Invalid _ -> None
+
+let inspect graph (states : State.t array) =
+  let tree = tree_of_states graph states in
+  let min_node = Graph.min_id_node graph in
+  let rooted_at_min_id =
+    states.(min_node).State.parent = Graph.id graph min_node
+    && Array.to_list states
+       |> List.for_all (fun st -> st.State.root = Graph.id graph min_node)
+  in
+  let dmax_consistent, distances_consistent =
+    match tree with
+    | None -> (false, false)
+    | Some t ->
+        let k = Tree.max_degree t in
+        let dm = ref true and dd = ref true in
+        Array.iteri
+          (fun v st ->
+            if st.State.dmax <> k then dm := false;
+            if st.State.dist <> Tree.depth t v then dd := false)
+          states;
+        (!dm, !dd)
+  in
+  { tree; spanning = tree <> None; rooted_at_min_id; dmax_consistent; distances_consistent }
+
+let legitimate graph states =
+  let v = inspect graph states in
+  v.spanning && v.rooted_at_min_id && v.dmax_consistent
+
+(* Quiescence fingerprint over the variables that matter for the tree and
+   its degree bookkeeping (search cursors and TTLs are excluded: they keep
+   moving forever by design). *)
+let fingerprint (states : State.t array) =
+  let h = ref 0x12345 in
+  let mix v = h := (!h * 1_000_003) lxor v land max_int in
+  Array.iter
+    (fun (st : State.t) ->
+      mix st.State.root;
+      mix st.State.parent;
+      mix st.State.dist;
+      mix st.State.dmax;
+      mix (Bool.to_int st.State.color);
+      mix st.State.subtree_max)
+    states;
+  !h
+
+let tree_degree_now graph states =
+  match tree_of_states graph states with None -> None | Some t -> Some (Tree.max_degree t)

@@ -1,0 +1,34 @@
+(** Global-state observation: the paper's legitimacy predicate, evaluated by
+    the test/experiment harness from outside the system.  No node ever sees
+    this information — the protocol's own decisions use only {!State}.
+
+    A configuration is legitimate when (i) the parent pointers form one
+    spanning tree of the communication graph rooted at the minimum
+    identifier, and (ii) every node's [dmax] equals the actual degree of
+    that tree.  {!Run} combines legitimacy with quiescence and an optional
+    fixpoint oracle to detect convergence. *)
+
+type verdict = {
+  tree : Mdst_graph.Tree.t option;  (** extracted tree, when parents form one *)
+  spanning : bool;
+  rooted_at_min_id : bool;
+  dmax_consistent : bool;
+  distances_consistent : bool;  (** every [dist] equals the tree depth *)
+}
+
+val tree_of_states : Mdst_graph.Graph.t -> State.t array -> Mdst_graph.Tree.t option
+(** Extract the tree described by the parent pointers, if they do describe
+    a spanning tree rooted at the minimum-identifier node. *)
+
+val inspect : Mdst_graph.Graph.t -> State.t array -> verdict
+
+val legitimate : Mdst_graph.Graph.t -> State.t array -> bool
+(** [spanning && rooted_at_min_id && dmax_consistent]. *)
+
+val fingerprint : State.t array -> int
+(** Hash of the variables that matter for the tree and its degree
+    bookkeeping.  Search cursors and TTLs are excluded: they keep moving
+    forever by design, and must not defeat quiescence detection. *)
+
+val tree_degree_now : Mdst_graph.Graph.t -> State.t array -> int option
+(** Degree of the currently-described tree, when one exists. *)

@@ -1,0 +1,15 @@
+(* Transport-to-protocol translation.
+
+   The simulator addresses nodes by dense index; the algorithm reasons only
+   about protocol identifiers.  These helpers are the single crossing point
+   so that the protocol cannot accidentally depend on the transport
+   numbering (tests run with permuted identifiers to enforce this). *)
+
+let of_src ctx src =
+  let rec find k =
+    if k >= Array.length ctx.Mdst_sim.Node.neighbors then
+      invalid_arg "Graph_id.of_src: sender is not a neighbour"
+    else if ctx.Mdst_sim.Node.neighbors.(k) = src then ctx.Mdst_sim.Node.neighbor_ids.(k)
+    else find (k + 1)
+  in
+  find 0

@@ -1,0 +1,66 @@
+module Tree = Mdst_graph.Tree
+
+type report = {
+  samples : int;
+  spanning_samples : int;
+  availability : float;
+  longest_outage : int;
+  distinct_trees : int;
+  max_degree_seen : int;
+  final_spanning : bool;
+}
+
+module Watch (A : Mdst_sim.Node.AUTOMATON with type state = State.t and type msg = Msg.t) =
+struct
+  module Engine = Mdst_sim.Engine.Make (A)
+
+  let watch ?(sample_every = 2) ~engine ~max_rounds ~stop () =
+    let graph = Engine.graph engine in
+    let samples = ref 0 in
+    let spanning = ref 0 in
+    let outage = ref 0 in
+    let longest_outage = ref 0 in
+    let max_degree_seen = ref 0 in
+    let module ES = Set.Make (struct
+      type t = (int * int) list
+
+      let compare = compare
+    end) in
+    let trees = ref ES.empty in
+    let sample () =
+      incr samples;
+      match Checker.tree_of_states graph (Engine.states engine) with
+      | Some tree ->
+          incr spanning;
+          outage := 0;
+          trees := ES.add (Tree.edge_list tree) !trees;
+          if Tree.max_degree tree > !max_degree_seen then max_degree_seen := Tree.max_degree tree
+      | None ->
+          incr outage;
+          if !outage > !longest_outage then longest_outage := !outage
+    in
+    let next_sample = ref 0 in
+    let combined_stop t =
+      if Engine.rounds t >= !next_sample then begin
+        next_sample := Engine.rounds t + sample_every;
+        sample ()
+      end;
+      stop t
+    in
+    ignore (Engine.run engine ~max_rounds ~check_every:1 ~stop:combined_stop ());
+    sample ();
+    {
+      samples = !samples;
+      spanning_samples = !spanning;
+      availability =
+        (if !samples = 0 then 0.0 else float_of_int !spanning /. float_of_int !samples);
+      longest_outage = !longest_outage;
+      distinct_trees = ES.cardinal !trees;
+      max_degree_seen = !max_degree_seen;
+      final_spanning = Checker.tree_of_states graph (Engine.states engine) <> None;
+    }
+end
+
+module Default_watch = Watch (Proto.Default)
+
+let watch = Default_watch.watch

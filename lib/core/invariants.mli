@@ -1,0 +1,46 @@
+(** Run-time invariant sampling: what happens {e between} legitimate
+    configurations.
+
+    Self-stabilization only constrains the limit; super-stabilization (the
+    paper's closing open problem) also constrains the disruption along the
+    way.  This module samples the global configuration at a fixed round
+    cadence while a run executes and reports availability-style metrics:
+    how often the parent pointers formed a spanning tree at all, the
+    longest window without one, how many distinct trees were traversed, and
+    the worst tree degree seen.  Used by experiments E16/E17 and the
+    transient-behaviour tests.
+
+    [Watch] works for any protocol variant (ablations, the graceful
+    variant); the top-level [watch] is the default-protocol instance. *)
+
+type report = {
+  samples : int;
+  spanning_samples : int;  (** samples where a spanning tree existed *)
+  availability : float;  (** spanning_samples / samples *)
+  longest_outage : int;  (** longest run of consecutive non-spanning samples *)
+  distinct_trees : int;  (** how many different edge sets were traversed *)
+  max_degree_seen : int;  (** worst deg(T) over the spanning samples *)
+  final_spanning : bool;
+}
+
+module Watch (A : Mdst_sim.Node.AUTOMATON with type state = State.t and type msg = Msg.t) : sig
+  module Engine : module type of Mdst_sim.Engine.Make (A)
+
+  val watch :
+    ?sample_every:int ->
+    engine:Engine.t ->
+    max_rounds:int ->
+    stop:(Engine.t -> bool) ->
+    unit ->
+    report
+end
+
+val watch :
+  ?sample_every:int ->
+  engine:Run.Engine.t ->
+  max_rounds:int ->
+  stop:(Run.Engine.t -> bool) ->
+  unit ->
+  report
+(** Drive [engine] until [stop] or [max_rounds], sampling every
+    [sample_every] rounds (default 2). *)

@@ -1,0 +1,109 @@
+(* Protocol messages (paper §3.1 "Messages").
+
+   All node references inside messages are protocol identifiers, never
+   transport indices: the algorithm must work when IDs are an arbitrary
+   permutation.  Sizes reported by [bits] follow the paper's idealised
+   accounting (an ID or distance costs ceil(log2 n) bits), which is what
+   experiment E5 checks against the O(n log n) message-length bound. *)
+
+module Sizing = Mdst_util.Sizing
+
+(* One hop of a Search path: the information Action_on_Cycle needs about
+   every node of the fundamental cycle. *)
+type entry = { e_id : int; e_deg : int; e_dist : int }
+
+type info = {
+  i_root : int;
+  i_parent : int;
+  i_dist : int;
+  i_deg : int;  (* tree degree the sender believes it has *)
+  i_dmax : int;
+  i_color : bool;
+  i_subtree_max : int;  (* PIF feedback value *)
+}
+
+type t =
+  | Info of info
+      (** The gossip of §2: refreshes the receiver's mirror of the sender. *)
+  | Search of {
+      s_edge : int * int;  (* (initiator id, responder id) — the non-tree edge *)
+      s_idblock : int option;
+      s_stack : entry list;  (* DFS stack, excluding the receiver *)
+      s_visited : int list;  (* every id ever visited by this DFS *)
+    }
+  | Swap_req of {
+      r_edge : int * int;  (* (s, t): s must re-root, t is the anchor *)
+      r_target : int * int;  (* (lower, upper) tree edge to delete *)
+      r_deg_max : int;  (* degree threshold the swap was decided under *)
+      r_segment : int list;  (* ids from s to lower, inclusive *)
+    }
+      (** Sent across the non-tree edge from the deciding responder to the
+          endpoint that must re-root (paper: first leg of [Remove]). *)
+  | Remove of {
+      m_edge : int * int;
+      m_target : int * int;
+      m_deg_max : int;
+      m_segment : int list;  (* ids still ahead, next hop first *)
+    }
+  | Grant of {
+      g_edge : int * int;
+      g_target : int * int;
+      g_deg_max : int;
+      g_segment : int list;  (* ids back towards s, next hop first *)
+    }
+      (** Positive acknowledgement from [lower]: the swap may commit. *)
+  | Reverse of {
+      v_edge : int * int;
+      v_dist : int;  (* distance of the sender after its own re-parenting *)
+      v_segment : int list;  (* ids still ahead, next hop first *)
+    }
+      (** The paper's Remove/Back orientation correction, folded into one
+          inward walk (see DESIGN.md §4). *)
+  | Update_dist of { u_dist : int; u_ttl : int }
+  | Deblock of { d_idblock : int; d_ttl : int }
+
+let label = function
+  | Info _ -> "info"
+  | Search _ -> "search"
+  | Swap_req _ -> "swap-req"
+  | Remove _ -> "remove"
+  | Grant _ -> "grant"
+  | Reverse _ -> "reverse"
+  | Update_dist _ -> "update-dist"
+  | Deblock _ -> "deblock"
+
+let bits ~n msg =
+  let id = Sizing.id_bits ~n in
+  let entry_bits = 3 * id in
+  match msg with
+  | Info _ -> (6 * id) + Sizing.bool_bits
+  | Search { s_stack; s_visited; _ } ->
+      (2 * id) + id (* idblock *)
+      + Sizing.list_bits ~n entry_bits (List.length s_stack)
+      + Sizing.list_bits ~n id (List.length s_visited)
+  | Swap_req { r_segment; _ } | Remove { m_segment = r_segment; _ }
+  | Grant { g_segment = r_segment; _ } ->
+      (5 * id) + Sizing.list_bits ~n id (List.length r_segment)
+  | Reverse { v_segment; _ } -> (3 * id) + Sizing.list_bits ~n id (List.length v_segment)
+  | Update_dist _ -> 2 * id
+  | Deblock _ -> 2 * id
+
+let pp_entry ppf e = Format.fprintf ppf "%d(d%d,h%d)" e.e_id e.e_deg e.e_dist
+
+let pp ppf = function
+  | Info i ->
+      Format.fprintf ppf "Info{root=%d parent=%d dist=%d deg=%d dmax=%d stm=%d}" i.i_root
+        i.i_parent i.i_dist i.i_deg i.i_dmax i.i_subtree_max
+  | Search { s_edge = a, b; s_idblock; s_stack; _ } ->
+      Format.fprintf ppf "Search{e=(%d,%d) blk=%s stack=[%a]}" a b
+        (match s_idblock with None -> "-" | Some w -> string_of_int w)
+        (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ";") pp_entry)
+        s_stack
+  | Swap_req { r_edge = a, b; r_target = c, d; _ } ->
+      Format.fprintf ppf "SwapReq{e=(%d,%d) rm=(%d,%d)}" a b c d
+  | Remove { m_edge = a, b; m_target = c, d; _ } ->
+      Format.fprintf ppf "Remove{e=(%d,%d) rm=(%d,%d)}" a b c d
+  | Grant { g_edge = a, b; _ } -> Format.fprintf ppf "Grant{e=(%d,%d)}" a b
+  | Reverse { v_dist; _ } -> Format.fprintf ppf "Reverse{dist=%d}" v_dist
+  | Update_dist { u_dist; _ } -> Format.fprintf ppf "UpdateDist{%d}" u_dist
+  | Deblock { d_idblock; _ } -> Format.fprintf ppf "Deblock{%d}" d_idblock

@@ -1,0 +1,72 @@
+(** Protocol messages (paper §3.1, "Messages").
+
+    All node references inside messages are protocol identifiers, never
+    transport indices: the algorithm must work when identifiers are an
+    arbitrary permutation.  [bits] reports the idealised encoded size used
+    by experiment E5 (an identifier or distance costs ceil(log2 n) bits),
+    which is what the paper's O(n log n) message-length bound counts. *)
+
+(** One hop of a Search path: what Action_on_Cycle needs to know about every
+    node of the fundamental cycle. *)
+type entry = { e_id : int; e_deg : int; e_dist : int }
+
+(** Payload of the periodic gossip that implements send/receive atomicity
+    (paper §2): the sender's public variables. *)
+type info = {
+  i_root : int;
+  i_parent : int;
+  i_dist : int;
+  i_deg : int;  (** tree degree the sender believes it has *)
+  i_dmax : int;
+  i_color : bool;
+  i_subtree_max : int;  (** PIF feedback value *)
+}
+
+type t =
+  | Info of info
+  | Search of {
+      s_edge : int * int;  (** (initiator id, responder id): the non-tree edge *)
+      s_idblock : int option;  (** set on Deblock-triggered searches *)
+      s_stack : entry list;  (** DFS stack, excluding the receiver *)
+      s_visited : int list;  (** every id the DFS has visited *)
+    }  (** Fundamental-cycle detection (paper Figure 3). *)
+  | Swap_req of {
+      r_edge : int * int;  (** (s, t): [s] must re-root, [t] is the anchor *)
+      r_target : int * int;  (** (lower, upper): the tree edge to delete *)
+      r_deg_max : int;  (** degree threshold the swap was decided under *)
+      r_segment : int list;  (** ids from [s] to [lower], inclusive *)
+    }
+      (** Crosses the improving edge from the deciding responder to the
+          endpoint that must re-root: the first leg of the paper's Remove. *)
+  | Remove of {
+      m_edge : int * int;
+      m_target : int * int;
+      m_deg_max : int;
+      m_segment : int list;
+    }  (** Validation/locking pass up the segment (paper Figure 2). *)
+  | Grant of {
+      g_edge : int * int;
+      g_target : int * int;
+      g_deg_max : int;
+      g_segment : int list;
+    }  (** Acknowledgement from [lower]: the swap may commit. *)
+  | Reverse of {
+      v_edge : int * int;
+      v_dist : int;  (** distance of the sender after its own re-parenting *)
+      v_segment : int list;
+    }
+      (** The paper's Remove/Back orientation correction, folded into one
+          inward walk (see DESIGN.md §4). *)
+  | Update_dist of { u_dist : int; u_ttl : int }
+      (** Distance repair for off-path subtrees (paper's UpdateDist). *)
+  | Deblock of { d_idblock : int; d_ttl : int }
+      (** Subtree flood asking descendants to search on behalf of the
+          blocking node [d_idblock] (paper's Deblock). *)
+
+val label : t -> string
+(** Coarse message family ("info", "search", ...) for metering. *)
+
+val bits : n:int -> t -> int
+(** Idealised encoded size in a network of [n] nodes. *)
+
+val pp : Format.formatter -> t -> unit

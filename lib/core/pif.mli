@@ -1,0 +1,47 @@
+(** Propagation of Information with Feedback over a fixed rooted tree — the
+    substrate the paper cites ([16, 17]) for computing and disseminating the
+    maximum node degree (§3.2.3).
+
+    The main protocol ({!Proto}) folds this aggregation into its gossip
+    because its tree keeps changing; this module is the wave-based original
+    over a {e fixed} tree, kept as an independently tested substrate: the
+    root repeatedly launches numbered waves ([Go] down, [Back] up), each
+    wave aggregates every node's local value with an associative operator,
+    and the result of the previous wave is disseminated by the next one.
+    Sequence numbers plus a root-side timeout make it self-stabilizing:
+    corrupted phases, stale acknowledgements and lost sub-waves are flushed
+    by the following wave.
+
+    Instantiate with the rooted tree (by protocol identifier) and the local
+    input of each node. *)
+
+module type INPUT = sig
+  val parent_of : int -> int
+  (** [parent_of id] — parent identifier in the fixed tree; the root maps
+      to itself. *)
+
+  val value_of : int -> int
+  (** The local value this node contributes to the aggregate. *)
+
+  val combine : int -> int -> int
+  (** Associative, commutative (e.g. [max]). *)
+
+  val neutral : int
+end
+
+type state = {
+  seq : int;  (** wave number this node last joined *)
+  waiting : int list;  (** children ids whose Back is still missing *)
+  acc : int;  (** running aggregate of the current wave *)
+  result : int option;  (** aggregate of the last completed wave *)
+  ticks_stalled : int;  (** root only: ticks since the wave made progress *)
+}
+
+type msg = Go of { g_seq : int; g_result : int option } | Back of { b_seq : int; b_acc : int }
+
+module Make (_ : INPUT) : sig
+  include Mdst_sim.Node.AUTOMATON with type state = state and type msg = msg
+end
+
+val completed_waves : state -> bool
+(** Has this node a result from some completed wave? *)

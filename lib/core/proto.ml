@@ -1,0 +1,909 @@
+(* The self-stabilizing MDST protocol (paper §3), as a {!Mdst_sim.Node}
+   automaton.
+
+   Module structure follows the paper:
+   - spanning-tree module: rules R1 ("correction parent") and R2
+     ("correction root") — [apply_tree_rules];
+   - maximum-degree module: a continuous PIF over the believed tree —
+     [apply_degree_rules];
+   - fundamental-cycle detection: a DFS walk carried inside Search
+     messages — [start_search] / [handle_search];
+   - degree reduction: Action_on_Cycle, Improve and Deblock.
+
+   paper-gap: the paper's Figures 1–2 correct cycle orientation with a pair
+   of Remove/Back messages chosen by comparing endpoint identifiers, and
+   repair distances afterwards with UpdateDist.  We implement the same
+   exchange as an explicit three-pass commit over the ascending tree
+   segment between the re-rooting endpoint [s] of the improving edge and
+   the deeper endpoint [lower] of the removed edge:
+
+     Remove  (s -> lower)  validate and lock every segment node;
+     Grant   (lower -> s)  acknowledge that the removal may commit;
+     Reverse (s -> lower)  flip parent pointers one hop at a time,
+                           each hop carrying the already-correct distance.
+
+   Every intermediate configuration of the Reverse pass is a spanning tree
+   (each hop exchanges exactly one edge for another), which is the
+   invariant the paper's prose relies on; off-path subtrees learn their new
+   distances through UpdateDist exactly as in the paper.  Aborted attempts
+   leave only TTL'd locks behind, mirroring the paper's "the Remove message
+   is discarded". *)
+
+module Node = Mdst_sim.Node
+module P = Mdst_util.Prng
+
+module type CONFIG = sig
+  val busy_ttl : int
+  (** Base number of ticks a swap lock survives without progress; the
+      protocol adds a term linear in the network size so long segments can
+      complete (nodes are assumed to know an upper bound on n, a standard
+      assumption also implicit in the paper's O(log n)-bits counters). *)
+
+  val deblock_ttl : int
+  (** Ticks a node keeps answering searches on behalf of a blocking node. *)
+
+  val eager_prune : bool
+  (** Skip Search starts that cannot possibly satisfy the improvement
+      precondition given the local dmax estimate.  [false] reproduces the
+      paper's behaviour (every non-tree edge searches repeatedly); [true]
+      converges to the same trees with far fewer messages. *)
+
+  val enable_deblock : bool
+  (** The paper's Deblock machinery.  Disabling it is the ablation of
+      benchmark E11: the algorithm then stops at local optima where every
+      improving candidate has a blocking endpoint. *)
+
+  val enable_reduction : bool
+  (** The whole degree-reduction stack (modules 3 and 4).  Disabling it
+      leaves the self-stabilizing spanning-tree + max-degree layers alone
+      (paper §3.2.1 and §3.2.3) — the layer-isolation ablation E15. *)
+
+  val graceful_reattach : bool
+  (** Prototype of the paper's open problem (super-stabilization): a node
+      whose parent edge vanished re-attaches directly to a fresh neighbour
+      with the same root and a strictly smaller distance — such a
+      neighbour cannot be its own descendant while the pre-fault distances
+      are still legitimate — instead of resetting to its own root and
+      cascading R2 through its subtree.  [false] is the paper's behaviour;
+      [true] is the E17 variant. *)
+
+  val search_on_info : bool
+  (** Paper Figure 2 line 2 starts Cycle_Search upon {e every} Info
+      receipt; our default rate-limits starts to one rotating candidate
+      per tick (same convergence, δ× less Search traffic).  [true] restores
+      the paper's literal cadence. *)
+end
+
+module Default_config : CONFIG = struct
+  let busy_ttl = 16
+  let deblock_ttl = 24
+  let eager_prune = true
+  let enable_deblock = true
+  let enable_reduction = true
+  let graceful_reattach = false
+  let search_on_info = false
+end
+
+module No_deblock_config : CONFIG = struct
+  include Default_config
+
+  let enable_deblock = false
+end
+
+module No_prune_config : CONFIG = struct
+  include Default_config
+
+  let eager_prune = false
+end
+
+module Tree_only_config : CONFIG = struct
+  include Default_config
+
+  let enable_reduction = false
+end
+
+module Graceful_config : CONFIG = struct
+  include Default_config
+
+  let graceful_reattach = true
+end
+
+(* The paper's literal behaviour: no pruning, searches on every gossip. *)
+module Paper_faithful_config : CONFIG = struct
+  include Default_config
+
+  let eager_prune = false
+  let search_on_info = true
+end
+
+module Make (C : CONFIG) : sig
+  include Node.AUTOMATON with type state = State.t and type msg = Msg.t
+end = struct
+  type state = State.t
+
+  type msg = Msg.t
+
+  let name = "ss-mdst"
+
+  let init = State.clean
+
+  let random_state = State.random
+
+  let random_msg ctx rng =
+    let rand_id () = P.int rng (max 1 (2 * ctx.Node.n)) in
+    match P.int rng 5 with
+    | 0 ->
+        Some
+          (Msg.Info
+             {
+               i_root = rand_id ();
+               i_parent = rand_id ();
+               i_dist = P.int rng ctx.n;
+               i_deg = P.int rng 6;
+               i_dmax = P.int rng ctx.n;
+               i_color = P.bool rng;
+               i_subtree_max = P.int rng ctx.n;
+             })
+    | 1 ->
+        Some
+          (Msg.Search
+             {
+               s_edge = (rand_id (), rand_id ());
+               s_idblock = (if P.bool rng then None else Some (rand_id ()));
+               s_stack =
+                 [ { Msg.e_id = rand_id (); e_deg = P.int rng 6; e_dist = P.int rng ctx.n } ];
+               s_visited = [ rand_id () ];
+             })
+    | 2 ->
+        Some
+          (Msg.Remove
+             {
+               m_edge = (rand_id (), rand_id ());
+               m_target = (rand_id (), rand_id ());
+               m_deg_max = P.int rng ctx.n;
+               m_segment = [ rand_id (); rand_id () ];
+             })
+    | 3 -> Some (Msg.Update_dist { u_dist = P.int rng ctx.n; u_ttl = P.int rng ctx.n })
+    | _ -> Some (Msg.Deblock { d_idblock = rand_id (); d_ttl = P.int rng 4 })
+
+  let msg_label = Msg.label
+
+  let msg_bits = Msg.bits
+
+  let lock_ttl ctx = C.busy_ttl + (8 * ctx.Node.n)
+
+  let state_bits = State.bits
+
+  (* ---------------------------------------------------------------- *)
+  (* Gossip                                                            *)
+  (* ---------------------------------------------------------------- *)
+
+  let info_of ctx (st : State.t) =
+    Msg.Info
+      {
+        i_root = st.root;
+        i_parent = st.parent;
+        i_dist = st.dist;
+        i_deg = State.tree_degree ctx st;
+        i_dmax = st.dmax;
+        i_color = st.color;
+        i_subtree_max = st.subtree_max;
+      }
+
+  let broadcast_info ctx st =
+    let payload = info_of ctx st in
+    Array.iter (fun nb -> ctx.Node.send nb payload) ctx.Node.neighbors
+
+  let update_view (st : State.t) slot (i : Msg.info) =
+    let views = Array.copy st.views in
+    views.(slot) <-
+      {
+        State.w_root = i.i_root;
+        w_parent = i.i_parent;
+        w_dist = i.i_dist;
+        w_deg = i.i_deg;
+        w_dmax = i.i_dmax;
+        w_color = i.i_color;
+        w_subtree_max = i.i_subtree_max;
+        w_fresh = true;
+      };
+    { st with views }
+
+  let send_to_id ctx id msg =
+    match State.slot_of ctx id with
+    | Some slot -> ctx.Node.send ctx.Node.neighbors.(slot) msg
+    | None -> ()
+
+  (* ---------------------------------------------------------------- *)
+  (* Spanning-tree module (rules R1 / R2, paper §3.2.1)                *)
+  (* ---------------------------------------------------------------- *)
+
+  let create_new_root ctx (st : State.t) =
+    { st with State.root = ctx.Node.id; parent = ctx.id; dist = 0 }
+
+  (* E17 variant: the node's attachment to the tree broke — either the
+     parent edge vanished (topology change) or the parent defected to its
+     own root (it is itself recovering) — but the surroundings still carry
+     legitimate pre-fault state.  Adopt a fresh same-root neighbour at a
+     depth at most ours: under legitimate distances every descendant is
+     strictly deeper, so the adoption cannot close a cycle.  When stale
+     views make the heuristic misfire, the ordinary rules repair the result
+     exactly as they repair any transient fault. *)
+  let try_graceful_reattach ctx (st : State.t) =
+    if (not C.graceful_reattach) || st.parent = ctx.Node.id || st.root > ctx.Node.id then None
+    else begin
+      let orphaned =
+        match State.slot_of ctx st.parent with
+        | None -> true (* parent edge no longer exists *)
+        | Some slot ->
+            let v = st.views.(slot) in
+            v.State.w_fresh && v.w_root <> st.root && v.w_root = st.parent
+            (* parent reset itself and now claims its own identifier *)
+      in
+      if not orphaned then None
+      else begin
+        let best = ref None in
+        Array.iteri
+          (fun slot (v : State.view) ->
+            if
+              v.State.w_fresh
+              && ctx.Node.neighbor_ids.(slot) <> st.parent
+              && v.w_root = st.root
+              && v.w_dist <= st.dist
+              && v.w_dist < ctx.Node.n
+              &&
+              match !best with
+              | Some (d, _) -> v.w_dist < d
+              | None -> true
+            then best := Some (v.State.w_dist, ctx.Node.neighbor_ids.(slot)))
+          st.views;
+        match !best with
+        | Some (dist, parent_id) -> Some { st with State.parent = parent_id; dist = dist + 1 }
+        | None -> None
+      end
+    end
+
+  let apply_tree_rules ctx (st : State.t) =
+    match try_graceful_reattach ctx st with
+    | Some st -> st
+    | None ->
+    if State.new_root_candidate ctx st then create_new_root ctx st
+    else if State.better_parent ctx st then begin
+      (* argmin over (root, neighbour id) among fresh mirrors. *)
+      let best = ref None in
+      Array.iteri
+        (fun slot (v : State.view) ->
+          if v.w_fresh && v.w_root < st.root && v.w_dist < ctx.Node.n then
+            match !best with
+            | Some (r, id, _)
+              when r < v.w_root || (r = v.w_root && id <= ctx.Node.neighbor_ids.(slot)) ->
+                ()
+            | _ -> best := Some (v.w_root, ctx.Node.neighbor_ids.(slot), v.w_dist))
+        st.views;
+      match !best with
+      | Some (root, parent_id, dist) -> { st with State.root; parent = parent_id; dist = dist + 1 }
+      | None -> st
+    end
+    else st
+
+  (* ---------------------------------------------------------------- *)
+  (* Maximum-degree module (continuous PIF + colour wave, §3.2.3)      *)
+  (* ---------------------------------------------------------------- *)
+
+  let apply_degree_rules ctx (st : State.t) =
+    let own_deg = State.tree_degree ctx st in
+    let stm =
+      List.fold_left
+        (fun acc slot -> max acc st.views.(slot).State.w_subtree_max)
+        own_deg
+        (State.tree_children_slots ctx st)
+    in
+    let st = { st with State.subtree_max = stm } in
+    if st.parent = ctx.Node.id then
+      if st.dmax <> stm then { st with State.dmax = stm; color = not st.color } else st
+    else
+      match State.slot_of ctx st.parent with
+      | Some slot when st.views.(slot).State.w_fresh ->
+          let v = st.views.(slot) in
+          { st with State.dmax = v.w_dmax; color = v.w_color }
+      | Some _ | None -> st
+
+  let recompute ctx st = apply_degree_rules ctx (apply_tree_rules ctx st)
+
+  (* ---------------------------------------------------------------- *)
+  (* Fundamental-cycle detection (Search DFS, §3.2.2)                  *)
+  (* ---------------------------------------------------------------- *)
+
+  let self_entry ctx (st : State.t) =
+    { Msg.e_id = ctx.Node.id; e_deg = State.tree_degree ctx st; e_dist = st.dist }
+
+  (* Continue a DFS currently standing at this node; [stack] excludes us. *)
+  let continue_search ctx (st : State.t) ~edge ~idblock ~stack ~visited =
+    let me = ctx.Node.id in
+    let visited = if List.mem me visited then visited else me :: visited in
+    let next_slot = ref None in
+    Array.iteri
+      (fun slot uid ->
+        if
+          State.is_tree_edge ctx st slot
+          && (not (List.mem uid visited))
+          &&
+          match !next_slot with
+          | Some best -> uid < ctx.Node.neighbor_ids.(best)
+          | None -> true
+        then next_slot := Some slot)
+      ctx.Node.neighbor_ids;
+    match !next_slot with
+    | Some slot ->
+        ctx.Node.send ctx.Node.neighbors.(slot)
+          (Msg.Search
+             {
+               s_edge = edge;
+               s_idblock = idblock;
+               s_stack = stack @ [ self_entry ctx st ];
+               s_visited = visited;
+             })
+    | None -> (
+        (* Dead end: backtrack to the previous stack element, if any. *)
+        match List.rev stack with
+        | [] -> () (* whole tree explored without reaching the responder *)
+        | last :: before_rev -> (
+            match State.slot_of ctx last.Msg.e_id with
+            | Some slot when State.is_tree_edge ctx st slot ->
+                ctx.Node.send ctx.Node.neighbors.(slot)
+                  (Msg.Search
+                     {
+                       s_edge = edge;
+                       s_idblock = idblock;
+                       s_stack = List.rev before_rev;
+                       s_visited = visited;
+                     })
+            | Some _ | None -> ()))
+
+  let start_search ctx (st : State.t) ~responder_id ~idblock =
+    continue_search ctx st ~edge:(ctx.Node.id, responder_id) ~idblock ~stack:[] ~visited:[]
+
+  (* ---------------------------------------------------------------- *)
+  (* Improve: the three-pass edge swap                                 *)
+  (* ---------------------------------------------------------------- *)
+
+  (* Endpoint safety at commit time.  For a swap relieving a node at the
+     believed tree degree (deg_max = dmax) the paper's Eq. 1 requires both
+     endpoints strictly below dmax - 1; a Deblock-initiated swap
+     (deg_max = dmax - 1) only requires them below deg_max. *)
+  let endpoints_ok ctx (st : State.t) ~t_slot ~deg_max =
+    let v = st.views.(t_slot) in
+    v.State.w_fresh
+    && (not (State.is_tree_edge ctx st t_slot))
+    && deg_max <= st.dmax
+    &&
+    let bound = if deg_max >= st.dmax then deg_max - 1 else deg_max in
+    max (State.tree_degree ctx st) v.State.w_deg < bound
+
+  let segment_pred me segment =
+    let rec go prev = function
+      | x :: rest -> if x = me then prev else go (Some x) rest
+      | [] -> None
+    in
+    go None segment
+
+  let segment_succ me segment =
+    let rec go = function
+      | a :: b :: _ when a = me -> Some b
+      | _ :: rest -> go rest
+      | [] -> None
+    in
+    go segment
+
+  let is_last me segment = match List.rev segment with last :: _ -> last = me | [] -> false
+
+  (* After any re-parenting, descendants must refresh their distances. *)
+  let push_update_dist ctx (st : State.t) =
+    List.iter
+      (fun slot ->
+        ctx.Node.send ctx.Node.neighbors.(slot)
+          (Msg.Update_dist { u_dist = st.State.dist; u_ttl = ctx.Node.n }))
+      (State.tree_children_slots ctx st);
+    broadcast_info ctx st
+
+  (* Commit at [s]: adopt the non-tree edge towards [t], then launch the
+     Reverse pass up the segment.  Returns [None] to abort. *)
+  let commit_at_s ctx (st : State.t) ~edge ~target ~deg_max ~segment =
+    let s_id, t_id = edge in
+    if s_id <> ctx.Node.id then None
+    else
+      match State.slot_of ctx t_id with
+      | None -> None
+      | Some t_slot ->
+          if
+            not
+              (State.locally_stabilized ctx st
+              && st.pending = None
+              && endpoints_ok ctx st ~t_slot ~deg_max)
+          then None
+          else begin
+            let v = st.views.(t_slot) in
+            match segment with
+            | [] -> None
+            | [ me ] ->
+                (* s = lower: the removed edge is our own parent link and the
+                   swap is a single local exchange.  The relieved node is
+                   [upper] — check it still carries deg_max. *)
+                let upper = if fst target = me then snd target else fst target in
+                let upper_deg =
+                  match State.slot_of ctx upper with
+                  | Some slot when st.views.(slot).State.w_fresh -> st.views.(slot).State.w_deg
+                  | Some _ | None -> -1
+                in
+                if me = fst target && st.parent = upper && upper_deg >= deg_max then
+                  (* paper Fig. 2 line 5: flip the colour after a swap so the
+                     neighbourhood freezes until it re-agrees — this is what
+                     keeps concurrent swaps in one clique from weaving a
+                     transient parent cycle. *)
+                  Some
+                    {
+                      st with
+                      State.parent = t_id;
+                      dist = v.State.w_dist + 1;
+                      color = not st.color;
+                    }
+                else None
+            | me :: next :: _ ->
+                if me <> ctx.Node.id || st.parent <> next then None
+                else begin
+                  let st =
+                    {
+                      st with
+                      State.parent = t_id;
+                      dist = v.State.w_dist + 1;
+                      color = not st.color;
+                    }
+                  in
+                  send_to_id ctx next
+                    (Msg.Reverse { v_edge = edge; v_dist = st.State.dist; v_segment = segment });
+                  Some st
+                end
+          end
+
+  (* Entry point at [s] (either on Swap_req receipt, or locally when the
+     responder itself is s). *)
+  let handle_swap_req ctx (st : State.t) ~edge ~target ~deg_max ~segment =
+    match segment with
+    | [ _ ] -> (
+        match commit_at_s ctx st ~edge ~target ~deg_max ~segment with
+        | Some st ->
+            push_update_dist ctx st;
+            st
+        | None -> st)
+    | me :: next :: _ when me = ctx.Node.id -> (
+        if
+          (not (State.locally_stabilized ctx st))
+          || st.pending <> None
+          || st.parent <> next
+        then st
+        else
+          let _, t_id = edge in
+          match State.slot_of ctx t_id with
+          | Some t_slot when endpoints_ok ctx st ~t_slot ~deg_max ->
+              let st =
+                {
+                  st with
+                  State.pending =
+                    Some { p_edge = edge; p_target = target; p_ttl = lock_ttl ctx };
+                }
+              in
+              send_to_id ctx next
+                (Msg.Remove
+                   { m_edge = edge; m_target = target; m_deg_max = deg_max; m_segment = segment });
+              st
+          | Some _ | None -> st)
+    | _ -> st
+
+  let handle_remove ctx (st : State.t) ~edge ~target ~deg_max ~segment =
+    let me = ctx.Node.id in
+    if not (List.mem me segment) then st
+    else if st.pending <> None || not (State.locally_stabilized ctx st) then st
+    else if is_last me segment then begin
+      (* We are [lower]: final validation (paper's target_remove), then
+         grant. *)
+      let w, z = target in
+      let upper = if me = w then z else w in
+      let upper_deg =
+        match State.slot_of ctx upper with
+        | Some slot when st.views.(slot).State.w_fresh -> st.views.(slot).State.w_deg
+        | Some _ | None -> -1
+      in
+      let valid =
+        (me = w || me = z)
+        && st.parent = upper
+        && max (State.tree_degree ctx st) upper_deg >= deg_max
+      in
+      if not valid then st
+      else begin
+        let st =
+          {
+            st with
+            State.pending = Some { p_edge = edge; p_target = target; p_ttl = lock_ttl ctx };
+          }
+        in
+        (match segment_pred me segment with
+        | Some prev ->
+            send_to_id ctx prev
+              (Msg.Grant
+                 { g_edge = edge; g_target = target; g_deg_max = deg_max; g_segment = segment })
+        | None -> ());
+        st
+      end
+    end
+    else
+      (* Interior hop: the chain must still ascend through us. *)
+      match segment_succ me segment with
+      | Some next when st.parent = next ->
+          let st =
+            {
+              st with
+              State.pending = Some { p_edge = edge; p_target = target; p_ttl = lock_ttl ctx };
+            }
+          in
+          send_to_id ctx next
+            (Msg.Remove
+               { m_edge = edge; m_target = target; m_deg_max = deg_max; m_segment = segment });
+          st
+      | Some _ | None -> st
+
+  let handle_grant ctx (st : State.t) ~edge ~target ~deg_max ~segment =
+    let me = ctx.Node.id in
+    match st.State.pending with
+    | Some p when p.p_edge = edge && p.p_target = target -> (
+        match segment with
+        | first :: _ when first = me -> (
+            (* We are s: commit or abort (the lock clears either way). *)
+            let st = { st with State.pending = None } in
+            match commit_at_s ctx st ~edge ~target ~deg_max ~segment with
+            | Some st ->
+                push_update_dist ctx st;
+                st
+            | None -> st)
+        | _ -> (
+            match segment_pred me segment with
+            | Some prev ->
+                send_to_id ctx prev
+                  (Msg.Grant
+                     { g_edge = edge; g_target = target; g_deg_max = deg_max; g_segment = segment });
+                st
+            | None -> st))
+    | Some _ | None -> st
+
+  (* Optimistically refresh a neighbour's mirror from facts a protocol
+     message proves, so the R2 rule does not fire on staleness the next
+     Info would repair anyway. *)
+  let patch_view (st : State.t) ctx ~nid ~parent ~dist =
+    match State.slot_of ctx nid with
+    | None -> st
+    | Some slot ->
+        let views = Array.copy st.State.views in
+        let v = views.(slot) in
+        views.(slot) <-
+          {
+            v with
+            State.w_parent = (match parent with Some p -> p | None -> v.State.w_parent);
+            w_dist = dist;
+            w_fresh = true;
+          };
+        { st with State.views = views }
+
+  let handle_reverse ctx (st : State.t) ~src ~edge ~dist ~segment =
+    let me = ctx.Node.id in
+    let sender_id = Graph_id.of_src ctx src in
+    match st.State.pending with
+    | Some p
+      when p.p_edge = edge && List.mem me segment && segment_pred me segment = Some sender_id
+      ->
+        (* Flip: the sender (previous segment node) becomes our parent.  Its
+           own parent is the node before it on the segment (or the anchor
+           endpoint of the improving edge when it is s). *)
+        let sender_parent =
+          match segment_pred sender_id segment with
+          | Some p -> Some p
+          | None -> Some (snd edge)
+        in
+        let st = patch_view st ctx ~nid:sender_id ~parent:sender_parent ~dist in
+        let st =
+          {
+            st with
+            State.parent = sender_id;
+            dist = dist + 1;
+            pending = None;
+            color = not st.color (* paper Fig. 2 line 5 *);
+          }
+        in
+        (match segment_succ me segment with
+        | Some next ->
+            send_to_id ctx next
+              (Msg.Reverse { v_edge = edge; v_dist = st.State.dist; v_segment = segment })
+        | None -> () (* we are lower: our old parent edge just left the tree *));
+        push_update_dist ctx st;
+        st
+    | Some _ | None -> st
+
+  (* ---------------------------------------------------------------- *)
+  (* Action_on_Cycle (paper Figure 1)                                  *)
+  (* ---------------------------------------------------------------- *)
+
+  let send_deblock_flood ctx (st : State.t) ~idblock ~ttl =
+    (* paper-gap: the paper floods Deblock over the whole tree minus the
+       sender; Fürer–Raghavachari show searching the blocking node's
+       subtree suffices, so we restrict the flood there. *)
+    List.iter
+      (fun slot ->
+        ctx.Node.send ctx.Node.neighbors.(slot) (Msg.Deblock { d_idblock = idblock; d_ttl = ttl }))
+      (State.tree_children_slots ctx st)
+
+  (* Decide and launch an improvement removing the cycle edge (w, z), where
+     z is w's successor on the cycle path.  [path] lists the whole cycle,
+     initiator first, us (the responder) last. *)
+  let run_improve ctx (st : State.t) ~initiator_id ~path ~w_entry ~deg_max =
+    let rec succ_of = function
+      | a :: b :: _ when a.Msg.e_id = w_entry.Msg.e_id -> Some b
+      | _ :: rest -> succ_of rest
+      | [] -> None
+    in
+    match succ_of path with
+    | None -> st
+    | Some z_entry ->
+        let lower =
+          if w_entry.Msg.e_dist > z_entry.Msg.e_dist then w_entry else z_entry
+        in
+        let upper = if lower == w_entry then z_entry else w_entry in
+        let target = (lower.Msg.e_id, upper.Msg.e_id) in
+        let ids = List.map (fun e -> e.Msg.e_id) path in
+        let pos id =
+          let rec go i = function
+            | x :: rest -> if x = id then i else go (i + 1) rest
+            | [] -> -1
+          in
+          go 0 ids
+        in
+        let lower_pos = pos lower.Msg.e_id in
+        let s_is_initiator = lower_pos <= min (pos w_entry.Msg.e_id) (pos z_entry.Msg.e_id) in
+        let rec take_until acc = function
+          | [] -> None
+          | x :: rest ->
+              if x = lower.Msg.e_id then Some (List.rev (x :: acc))
+              else take_until (x :: acc) rest
+        in
+        let segment = if s_is_initiator then take_until [] ids else take_until [] (List.rev ids) in
+        (match segment with
+        | None | Some [] -> st
+        | Some segment ->
+            (* Ascending sanity: distances along the segment must decrease by
+               exactly one per hop, otherwise our picture is stale. *)
+            let entry_of id = List.find_opt (fun e -> e.Msg.e_id = id) path in
+            let dists = List.filter_map entry_of segment |> List.map (fun e -> e.Msg.e_dist) in
+            let rec strictly_descending = function
+              | a :: (b :: _ as rest) -> a = b + 1 && strictly_descending rest
+              | _ -> true
+            in
+            if List.length dists <> List.length segment || not (strictly_descending dists) then st
+            else if s_is_initiator then begin
+              send_to_id ctx initiator_id
+                (Msg.Swap_req
+                   {
+                     r_edge = (initiator_id, ctx.Node.id);
+                     r_target = target;
+                     r_deg_max = deg_max;
+                     r_segment = segment;
+                   });
+              st
+            end
+            else
+              handle_swap_req ctx st
+                ~edge:(ctx.Node.id, initiator_id)
+                ~target ~deg_max ~segment)
+
+  let action_on_cycle ctx (st : State.t) ~initiator_id ~idblock ~stack =
+    let path = stack @ [ self_entry ctx st ] in
+    let interior = match stack with [] -> [] | _ :: rest -> rest in
+    let deg_i =
+      match State.slot_of ctx initiator_id with
+      | Some slot when st.State.views.(slot).State.w_fresh -> st.State.views.(slot).State.w_deg
+      | Some _ | None -> max_int
+    in
+    let deg_me = State.tree_degree ctx st in
+    let endpoint_max = if deg_i = max_int then max_int else max deg_me deg_i in
+    let dmax = st.State.dmax in
+    let deblock_endpoint () =
+      if not C.enable_deblock then st
+      else begin
+      (* paper Figure 1, procedure Deblock: the endpoint(s) at dmax - 1 are
+         blocking; reduce their degree first. *)
+      let st =
+        if deg_me = dmax - 1 then begin
+          (match st.State.deblock with
+          | Some (b, _) when b = ctx.Node.id -> ()
+          | Some _ | None -> send_deblock_flood ctx st ~idblock:ctx.Node.id ~ttl:ctx.Node.n);
+          { st with State.deblock = Some (ctx.Node.id, C.deblock_ttl) }
+        end
+        else st
+      in
+      if deg_i = dmax - 1 then
+        send_to_id ctx initiator_id (Msg.Deblock { d_idblock = initiator_id; d_ttl = ctx.Node.n });
+      st
+      end
+    in
+    match idblock with
+    | None ->
+        let d_path = List.fold_left (fun acc e -> max acc e.Msg.e_deg) 0 interior in
+        if d_path <> dmax || dmax < 3 then st
+        else if endpoint_max = dmax - 1 then deblock_endpoint ()
+        else if endpoint_max < dmax - 1 then begin
+          (* w = interior max-degree node of minimum id (paper line 13). *)
+          let w_entry =
+            List.fold_left
+              (fun best e ->
+                if e.Msg.e_deg <> d_path then best
+                else
+                  match best with
+                  | Some b when b.Msg.e_id <= e.Msg.e_id -> best
+                  | _ -> Some e)
+              None interior
+          in
+          match w_entry with None -> st | Some w -> run_improve ctx st ~initiator_id ~path ~w_entry:w ~deg_max:dmax
+        end
+        else st
+    | Some b -> (
+        match List.find_opt (fun e -> e.Msg.e_id = b) interior with
+        | None -> st
+        | Some b_entry ->
+            if endpoint_max = dmax - 1 then deblock_endpoint ()
+            else if endpoint_max < dmax - 1 then
+              run_improve ctx st ~initiator_id ~path ~w_entry:b_entry ~deg_max:b_entry.Msg.e_deg
+            else st)
+
+  let handle_search ctx (st : State.t) ~edge ~idblock ~stack ~visited =
+    if not (State.locally_stabilized ctx st) then st
+    else begin
+      let initiator_id, responder_id = edge in
+      if ctx.Node.id = responder_id then begin
+        match State.slot_of ctx initiator_id with
+        | Some slot when not (State.is_tree_edge ctx st slot) ->
+            action_on_cycle ctx st ~initiator_id ~idblock ~stack
+        | Some _ | None -> st
+      end
+      else begin
+        continue_search ctx st ~edge ~idblock ~stack ~visited;
+        st
+      end
+    end
+
+  (* ---------------------------------------------------------------- *)
+  (* Deblock / UpdateDist receipt                                      *)
+  (* ---------------------------------------------------------------- *)
+
+  let handle_deblock ctx (st : State.t) ~idblock ~ttl =
+    if ttl <= 0 || not C.enable_deblock then st
+    else begin
+      (* Re-flood only when the request is news to us: repeated Deblocks for
+         a blocking node we are already serving would otherwise amplify
+         exponentially down the subtree. *)
+      (match st.State.deblock with
+      | Some (b, _) when b = idblock -> ()
+      | Some _ | None -> send_deblock_flood ctx st ~idblock ~ttl:(ttl - 1));
+      { st with State.deblock = Some (idblock, C.deblock_ttl) }
+    end
+
+  let handle_update_dist ctx (st : State.t) ~src ~dist ~ttl =
+    let sender_id = Graph_id.of_src ctx src in
+    if st.State.parent = sender_id && ttl > 0 && st.State.dist <> dist + 1 then begin
+      let st = patch_view st ctx ~nid:sender_id ~parent:None ~dist in
+      let st = { st with State.dist = dist + 1 } in
+      List.iter
+        (fun slot ->
+          ctx.Node.send ctx.Node.neighbors.(slot)
+            (Msg.Update_dist { u_dist = st.State.dist; u_ttl = ttl - 1 }))
+        (State.tree_children_slots ctx st);
+      st
+    end
+    else st
+
+  (* ---------------------------------------------------------------- *)
+  (* Search initiation policy                                          *)
+  (* ---------------------------------------------------------------- *)
+
+  let maybe_start_search ctx (st : State.t) =
+    let deg = Array.length ctx.Node.neighbors in
+    if
+      (not C.enable_reduction)
+      || deg = 0
+      || st.State.pending <> None
+      || not (State.locally_stabilized ctx st)
+    then st
+    else begin
+      let idblock = match st.State.deblock with Some (b, _) -> Some b | None -> None in
+      let own_deg = State.tree_degree ctx st in
+      let tried = ref 0 in
+      let cursor = ref st.State.search_cursor in
+      let started = ref false in
+      while (not !started) && !tried < deg do
+        let slot = !cursor mod deg in
+        cursor := (!cursor + 1) mod deg;
+        incr tried;
+        let uid = ctx.Node.neighbor_ids.(slot) in
+        let v = st.State.views.(slot) in
+        if (not (State.is_tree_edge ctx st slot)) && ctx.Node.id < uid && v.State.w_fresh
+        then begin
+          (* Prune only edges that can neither improve (endpoints <= dmax-2,
+             paper Eq. 1) nor expose a blocking endpoint (= dmax-1, which
+             must be discovered for Deblock to ever fire). *)
+          let worth =
+            match idblock with
+            | Some _ -> true
+            | None -> (not C.eager_prune) || st.State.dmax >= max own_deg v.State.w_deg + 1
+          in
+          if worth then begin
+            start_search ctx st ~responder_id:uid ~idblock;
+            started := true
+          end
+        end
+      done;
+      { st with State.search_cursor = !cursor }
+    end
+
+  (* ---------------------------------------------------------------- *)
+  (* Event handlers                                                    *)
+  (* ---------------------------------------------------------------- *)
+
+  let decay (st : State.t) =
+    let pending =
+      match st.State.pending with
+      | Some p when p.p_ttl > 1 -> Some { p with State.p_ttl = p.p_ttl - 1 }
+      | Some _ | None -> None
+    in
+    let deblock =
+      match st.State.deblock with
+      | Some (b, ttl) when ttl > 1 -> Some (b, ttl - 1)
+      | Some _ | None -> None
+    in
+    { st with State.pending; deblock }
+
+  let on_tick ctx (st : State.t) =
+    let st = decay st in
+    let st = recompute ctx st in
+    let st = maybe_start_search ctx st in
+    broadcast_info ctx st;
+    st
+
+  let on_message ctx (st : State.t) ~src msg =
+    match msg with
+    | Msg.Info info -> (
+        match State.slot_of ctx (Graph_id.of_src ctx src) with
+        | Some slot ->
+            let st = recompute ctx (update_view st slot info) in
+            (* paper Fig. 2 line 2: Cycle_Search(NIL) on every receipt. *)
+            if C.search_on_info then maybe_start_search ctx st else st
+        | None -> st)
+    | ( Msg.Search _ | Msg.Swap_req _ | Msg.Remove _ | Msg.Grant _ | Msg.Reverse _
+      | Msg.Update_dist _ | Msg.Deblock _ )
+      when not C.enable_reduction ->
+        st
+    | Msg.Search { s_edge; s_idblock; s_stack; s_visited } ->
+        handle_search ctx st ~edge:s_edge ~idblock:s_idblock ~stack:s_stack ~visited:s_visited
+    | Msg.Swap_req { r_edge; r_target; r_deg_max; r_segment } ->
+        handle_swap_req ctx st ~edge:r_edge ~target:r_target ~deg_max:r_deg_max
+          ~segment:r_segment
+    | Msg.Remove { m_edge; m_target; m_deg_max; m_segment } ->
+        handle_remove ctx st ~edge:m_edge ~target:m_target ~deg_max:m_deg_max ~segment:m_segment
+    | Msg.Grant { g_edge; g_target; g_deg_max; g_segment } ->
+        handle_grant ctx st ~edge:g_edge ~target:g_target ~deg_max:g_deg_max ~segment:g_segment
+    | Msg.Reverse { v_edge; v_dist; v_segment } ->
+        handle_reverse ctx st ~src ~edge:v_edge ~dist:v_dist ~segment:v_segment
+    | Msg.Update_dist { u_dist; u_ttl } -> handle_update_dist ctx st ~src ~dist:u_dist ~ttl:u_ttl
+    | Msg.Deblock { d_idblock; d_ttl } -> handle_deblock ctx st ~idblock:d_idblock ~ttl:d_ttl
+end
+
+module Default = Make (Default_config)
+module No_deblock = Make (No_deblock_config)
+module No_prune = Make (No_prune_config)
+module Tree_only = Make (Tree_only_config)
+module Graceful = Make (Graceful_config)
+module Paper_faithful = Make (Paper_faithful_config)

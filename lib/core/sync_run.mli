@@ -1,0 +1,24 @@
+(** The protocol under the synchronous daemon ({!Mdst_sim.Sync_engine}).
+
+    Same convergence detection as {!Run} (legitimacy + quiescence +
+    optional fixpoint oracle), but rounds are lockstep rounds.  Used by
+    experiment E12 to show the guarantees are daemon-independent. *)
+
+type result = {
+  converged : bool;
+  rounds : int;
+  tree : Mdst_graph.Tree.t option;
+  degree : int option;
+  total_messages : int;
+}
+
+module Engine : module type of Mdst_sim.Sync_engine.Make (Proto.Default)
+
+val converge :
+  ?seed:int ->
+  ?init:Run.init ->
+  ?max_rounds:int ->
+  ?quiet_rounds:int ->
+  ?fixpoint:(Mdst_graph.Tree.t -> bool) ->
+  Mdst_graph.Graph.t ->
+  result

@@ -1,0 +1,36 @@
+(** Carrying protocol state across a topology change.
+
+    The paper's system model is static, but its conclusion calls out
+    dynamic networks (churn, super-stabilization) as the open problem.
+    This module provides the mechanism our topology-change experiment
+    (E13) uses: take the node states of a converged run on [old_graph] and
+    re-home them onto [new_graph] (same node set, edges added and/or
+    removed).  Per-neighbour mirror slots are re-matched by protocol
+    identifier; mirrors of new neighbours start unknown, mirrors of
+    vanished neighbours are dropped.  Nodes whose parent edge disappeared
+    keep their dangling pointer — detecting and repairing that is exactly
+    the protocol's job. *)
+
+val states :
+  old_graph:Mdst_graph.Graph.t ->
+  new_graph:Mdst_graph.Graph.t ->
+  State.t array ->
+  State.t array
+(** @raise Invalid_argument if the two graphs differ in node count or
+    identifier assignment. *)
+
+val remove_tree_edge :
+  Mdst_util.Prng.t -> Mdst_graph.Graph.t -> Mdst_graph.Tree.t -> (Mdst_graph.Graph.t * (int * int)) option
+(** Remove one random {e tree} edge whose loss keeps the graph connected
+    (i.e. a tree edge that is not a bridge of the graph); [None] if every
+    tree edge is a bridge.  The removed edge is returned. *)
+
+val add_random_edge :
+  Mdst_util.Prng.t -> Mdst_graph.Graph.t -> (Mdst_graph.Graph.t * (int * int)) option
+(** Add one uniformly random absent edge; [None] on complete graphs. *)
+
+val remove_heaviest_tree_edge :
+  Mdst_graph.Graph.t -> Mdst_graph.Tree.t -> (Mdst_graph.Graph.t * (int * int)) option
+(** Like {!remove_tree_edge} but deterministic and adversarial: removes the
+    non-bridge tree edge orphaning the {e largest} subtree — the worst case
+    for repair disruption (used by experiment E17). *)

@@ -1,0 +1,199 @@
+module Prng = Mdst_util.Prng
+
+let bfs_distances g ~src =
+  let n = Graph.n g in
+  let dist = Array.make n (-1) in
+  dist.(src) <- 0;
+  let q = Queue.create () in
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    Array.iter
+      (fun u ->
+        if dist.(u) = -1 then begin
+          dist.(u) <- dist.(v) + 1;
+          Queue.add u q
+        end)
+      (Graph.neighbors g v)
+  done;
+  dist
+
+let bfs_order g ~src =
+  let n = Graph.n g in
+  let seen = Array.make n false in
+  let order = ref [] in
+  seen.(src) <- true;
+  let q = Queue.create () in
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    order := v :: !order;
+    Array.iter
+      (fun u ->
+        if not seen.(u) then begin
+          seen.(u) <- true;
+          Queue.add u q
+        end)
+      (Graph.neighbors g v)
+  done;
+  Array.of_list (List.rev !order)
+
+let components g =
+  let n = Graph.n g in
+  let label = Array.make n (-1) in
+  let next = ref 0 in
+  for src = 0 to n - 1 do
+    if label.(src) = -1 then begin
+      let c = !next in
+      incr next;
+      label.(src) <- c;
+      let q = Queue.create () in
+      Queue.add src q;
+      while not (Queue.is_empty q) do
+        let v = Queue.pop q in
+        Array.iter
+          (fun u ->
+            if label.(u) = -1 then begin
+              label.(u) <- c;
+              Queue.add u q
+            end)
+          (Graph.neighbors g v)
+      done
+    end
+  done;
+  label
+
+let component_count g =
+  let label = components g in
+  Array.fold_left max (-1) label + 1
+
+let is_connected g = Graph.n g > 0 && component_count g = 1
+
+let bfs_tree g ~root =
+  let n = Graph.n g in
+  let parents = Array.make n (-1) in
+  parents.(root) <- root;
+  let q = Queue.create () in
+  Queue.add root q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    Array.iter
+      (fun u ->
+        if parents.(u) = -1 then begin
+          parents.(u) <- v;
+          Queue.add u q
+        end)
+      (Graph.neighbors g v)
+  done;
+  Tree.of_parents g ~root parents
+
+let dfs_tree g ~root =
+  let n = Graph.n g in
+  let parents = Array.make n (-1) in
+  let stack = Stack.create () in
+  (* Parent is committed at visit (pop) time, so the tree is a true DFS
+     tree: deep paths, few branches. *)
+  Stack.push (root, root) stack;
+  while not (Stack.is_empty stack) do
+    let v, p = Stack.pop stack in
+    if parents.(v) = -1 then begin
+      parents.(v) <- p;
+      (* Push in reverse so the lowest-numbered neighbour is explored first. *)
+      let nbrs = Graph.neighbors g v in
+      for i = Array.length nbrs - 1 downto 0 do
+        if parents.(nbrs.(i)) = -1 then Stack.push (nbrs.(i), v) stack
+      done
+    end
+  done;
+  Tree.of_parents g ~root parents
+
+let random_spanning_tree rng g ~root =
+  let n = Graph.n g in
+  let parents = Array.make n (-1) in
+  let in_tree = Array.make n false in
+  in_tree.(root) <- true;
+  parents.(root) <- root;
+  for start = 0 to n - 1 do
+    if not in_tree.(start) then begin
+      (* Loop-erased random walk: record the successor taken at each node;
+         re-visiting a node overwrites it, which erases the loop. *)
+      let v = ref start in
+      while not in_tree.(!v) do
+        let next = Prng.choose rng (Graph.neighbors g !v) in
+        parents.(!v) <- next;
+        v := next
+      done;
+      let v = ref start in
+      while not in_tree.(!v) do
+        in_tree.(!v) <- true;
+        v := parents.(!v)
+      done
+    end
+  done;
+  Tree.of_parents g ~root parents
+
+let kruskal_random_tree rng g ~root =
+  let edges = Array.copy (Graph.edges g) in
+  Prng.shuffle rng edges;
+  let uf = Union_find.create (Graph.n g) in
+  let kept = ref [] in
+  Array.iter (fun (u, v) -> if Union_find.union uf u v then kept := (u, v) :: !kept) edges;
+  Tree.of_edge_list g ~root !kept
+
+let random_ids rng n =
+  let ids = Array.init n (fun i -> i) in
+  Prng.shuffle rng ids;
+  ids
+
+let bridges g =
+  let n = Graph.n g in
+  let disc = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let timer = ref 0 in
+  let result = ref [] in
+  (* Iterative Tarjan: frames are (node, parent, next neighbour index). *)
+  for src = 0 to n - 1 do
+    if disc.(src) = -1 then begin
+      let stack = Stack.create () in
+      disc.(src) <- !timer;
+      low.(src) <- !timer;
+      incr timer;
+      Stack.push (src, -1, ref 0) stack;
+      while not (Stack.is_empty stack) do
+        let v, parent, idx = Stack.top stack in
+        let nbrs = Graph.neighbors g v in
+        if !idx < Array.length nbrs then begin
+          let u = nbrs.(!idx) in
+          incr idx;
+          if disc.(u) = -1 then begin
+            disc.(u) <- !timer;
+            low.(u) <- !timer;
+            incr timer;
+            Stack.push (u, v, ref 0) stack
+          end
+          else if u <> parent then low.(v) <- min low.(v) disc.(u)
+        end
+        else begin
+          ignore (Stack.pop stack);
+          if parent <> -1 then begin
+            if low.(v) > disc.(parent) then
+              result := (min v parent, max v parent) :: !result;
+            low.(parent) <- min low.(parent) low.(v)
+          end
+        end
+      done
+    end
+  done;
+  List.sort compare !result
+
+let diameter g =
+  let n = Graph.n g in
+  if n = 0 || not (is_connected g) then -1
+  else begin
+    let best = ref 0 in
+    for src = 0 to n - 1 do
+      let dist = bfs_distances g ~src in
+      Array.iter (fun d -> if d > !best then best := d) dist
+    done;
+    !best
+  end

@@ -1,0 +1,41 @@
+(** Classical graph algorithms over {!Graph.t}.
+
+    These are used (a) by generators to enforce connectivity, (b) by the
+    baselines of experiment E2 (BFS / DFS / uniform-random spanning trees),
+    and (c) by the exact solver for pruning (bridges must stay in every
+    spanning tree). *)
+
+val bfs_order : Graph.t -> src:int -> int array
+(** Visit order (first element is [src]); only the component of [src]. *)
+
+val bfs_distances : Graph.t -> src:int -> int array
+(** Hop distances; unreachable nodes get [-1]. *)
+
+val is_connected : Graph.t -> bool
+
+val components : Graph.t -> int array
+(** Component label per node, labels are [0 ..]. *)
+
+val component_count : Graph.t -> int
+
+val bfs_tree : Graph.t -> root:int -> Tree.t
+(** Breadth-first spanning tree. @raise Tree.Invalid when disconnected. *)
+
+val dfs_tree : Graph.t -> root:int -> Tree.t
+(** Depth-first spanning tree (iterative, lowest-numbered neighbour first). *)
+
+val random_spanning_tree : Mdst_util.Prng.t -> Graph.t -> root:int -> Tree.t
+(** Uniformly random spanning tree by Wilson's loop-erased random-walk
+    algorithm — the "no intelligence at all" baseline of E2. *)
+
+val kruskal_random_tree : Mdst_util.Prng.t -> Graph.t -> root:int -> Tree.t
+(** Spanning tree from Kruskal's algorithm under random edge weights. *)
+
+val random_ids : Mdst_util.Prng.t -> int -> int array
+(** A random permutation of [0 .. n-1], for relabelling protocol IDs. *)
+
+val bridges : Graph.t -> (int * int) list
+(** All bridge edges [(u, v)], [u < v], via Tarjan low-link. *)
+
+val diameter : Graph.t -> int
+(** Exact diameter by n BFS runs; [-1] when disconnected or empty. *)

@@ -1,0 +1,27 @@
+let graph_to_string ?(name = "g") g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n  node [shape=circle];\n" name);
+  Graph.iter_nodes g (fun v ->
+      Buffer.add_string buf (Printf.sprintf "  %d [label=\"%d\"];\n" v (Graph.id g v)));
+  Graph.iter_edges g (fun u v -> Buffer.add_string buf (Printf.sprintf "  %d -- %d;\n" u v));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let tree_to_string ?(name = "t") ?(highlight_max = true) t =
+  let g = Tree.graph t in
+  let k = Tree.max_degree t in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n  node [shape=circle];\n" name);
+  Graph.iter_nodes g (fun v ->
+      let attrs =
+        if highlight_max && Tree.degree t v = k then
+          " style=filled fillcolor=lightcoral"
+        else if v = Tree.root t then " style=filled fillcolor=lightblue"
+        else ""
+      in
+      Buffer.add_string buf (Printf.sprintf "  %d [label=\"%d\"%s];\n" v (Graph.id g v) attrs));
+  Graph.iter_edges g (fun u v ->
+      let style = if Tree.is_tree_edge t u v then "penwidth=2" else "style=dotted" in
+      Buffer.add_string buf (Printf.sprintf "  %d -- %d [%s];\n" u v style));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,8 @@
+(** Graphviz DOT export for graphs and spanning trees — the CLI's [--dot]
+    flag renders runs for inspection. *)
+
+val graph_to_string : ?name:string -> Graph.t -> string
+
+val tree_to_string : ?name:string -> ?highlight_max:bool -> Tree.t -> string
+(** Tree edges solid, remaining graph edges dotted; with [highlight_max]
+    (default true) nodes at the tree's maximum degree are filled. *)

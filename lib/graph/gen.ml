@@ -1,0 +1,366 @@
+module Prng = Mdst_util.Prng
+
+type rng = Prng.t
+
+let path n =
+  if n < 1 then invalid_arg "Gen.path: n >= 1";
+  Graph.of_edges ~n (List.init (n - 1) (fun i -> (i, i + 1)))
+
+let ring n =
+  if n < 3 then invalid_arg "Gen.ring: n >= 3";
+  Graph.of_edges ~n ((n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1)))
+
+let star n =
+  if n < 2 then invalid_arg "Gen.star: n >= 2";
+  Graph.of_edges ~n (List.init (n - 1) (fun i -> (0, i + 1)))
+
+let wheel n =
+  if n < 4 then invalid_arg "Gen.wheel: n >= 4";
+  let rim = List.init (n - 2) (fun i -> (i + 1, i + 2)) in
+  let close = (n - 1, 1) in
+  let spokes = List.init (n - 1) (fun i -> (0, i + 1)) in
+  Graph.of_edges ~n (close :: (rim @ spokes))
+
+let grid ~rows ~cols =
+  if rows < 1 || cols < 1 then invalid_arg "Gen.grid";
+  let idx r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then edges := (idx r c, idx r (c + 1)) :: !edges;
+      if r + 1 < rows then edges := (idx r c, idx (r + 1) c) :: !edges
+    done
+  done;
+  Graph.of_edges ~n:(rows * cols) !edges
+
+let torus ~rows ~cols =
+  if rows < 3 || cols < 3 then invalid_arg "Gen.torus: rows, cols >= 3";
+  let idx r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      edges := (idx r c, idx r ((c + 1) mod cols)) :: !edges;
+      edges := (idx r c, idx ((r + 1) mod rows) c) :: !edges
+    done
+  done;
+  Graph.of_edges ~n:(rows * cols) !edges
+
+let hypercube d =
+  if d < 1 || d > 20 then invalid_arg "Gen.hypercube: 1 <= d <= 20";
+  let n = 1 lsl d in
+  let edges = ref [] in
+  for v = 0 to n - 1 do
+    for b = 0 to d - 1 do
+      let u = v lxor (1 lsl b) in
+      if u > v then edges := (v, u) :: !edges
+    done
+  done;
+  Graph.of_edges ~n !edges
+
+let complete = Graph.complete
+
+let complete_bipartite a b =
+  if a < 1 || b < 1 then invalid_arg "Gen.complete_bipartite";
+  let edges = ref [] in
+  for u = 0 to a - 1 do
+    for v = a to a + b - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  Graph.of_edges ~n:(a + b) !edges
+
+let petersen () =
+  (* Outer 5-cycle 0..4, inner pentagram 5..9, spokes i -- i+5. *)
+  let outer = [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 0) ] in
+  let inner = [ (5, 7); (7, 9); (9, 6); (6, 8); (8, 5) ] in
+  let spokes = List.init 5 (fun i -> (i, i + 5)) in
+  Graph.of_edges ~n:10 (outer @ inner @ spokes)
+
+let lollipop ~clique ~tail =
+  if clique < 3 || tail < 1 then invalid_arg "Gen.lollipop: clique >= 3, tail >= 1";
+  let n = clique + tail in
+  let edges = ref [] in
+  for u = 0 to clique - 1 do
+    for v = u + 1 to clique - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  for i = 0 to tail - 1 do
+    let prev = if i = 0 then clique - 1 else clique + i - 1 in
+    edges := (prev, clique + i) :: !edges
+  done;
+  Graph.of_edges ~n !edges
+
+let caterpillar ~spine ~legs =
+  if spine < 1 || legs < 0 then invalid_arg "Gen.caterpillar";
+  let n = spine * (1 + legs) in
+  let edges = ref [] in
+  for s = 0 to spine - 1 do
+    if s + 1 < spine then edges := (s, s + 1) :: !edges;
+    for l = 0 to legs - 1 do
+      edges := (s, spine + (s * legs) + l) :: !edges
+    done
+  done;
+  Graph.of_edges ~n !edges
+
+let star_of_cliques ~cliques ~clique_size =
+  if cliques < 3 || clique_size < 2 then
+    invalid_arg "Gen.star_of_cliques: cliques >= 3, clique_size >= 2";
+  let n = (cliques * clique_size) + 1 in
+  let hub = n - 1 in
+  let base c = c * clique_size in
+  let edges = ref [] in
+  for c = 0 to cliques - 1 do
+    for u = 0 to clique_size - 1 do
+      for v = u + 1 to clique_size - 1 do
+        edges := (base c + u, base c + v) :: !edges
+      done
+    done;
+    (* Hub attaches to every clique's node 0... *)
+    edges := (hub, base c) :: !edges;
+    (* ...and an outer cycle joins the cliques through their node 1
+       (or node 0 when the clique is a single edge). *)
+    let port c = base c + min 1 (clique_size - 1) in
+    edges := (port c, port ((c + 1) mod cliques)) :: !edges
+  done;
+  Graph.of_edges ~n !edges
+
+let binary_tree_with_chords ~depth =
+  if depth < 1 || depth > 16 then invalid_arg "Gen.binary_tree_with_chords";
+  let n = (1 lsl (depth + 1)) - 1 in
+  let edges = ref [] in
+  for v = 1 to n - 1 do
+    edges := ((v - 1) / 2, v) :: !edges
+  done;
+  let first_leaf = (1 lsl depth) - 1 in
+  for leaf = first_leaf to n - 2 do
+    edges := (leaf, leaf + 1) :: !edges
+  done;
+  Graph.of_edges ~n !edges
+
+(* Nodes: 0 = hub w (degree 4 in the start tree), 1..4 its leaves,
+   5 = blocking node b (degree 3), 6..7 = b's leaves.  Non-tree edges:
+   {5,1} (the blocked improving edge) and {6,7} (the unblocking edge). *)
+let deblock_gadget () =
+  Graph.of_edges ~n:8
+    [ (0, 1); (0, 2); (0, 3); (0, 4); (2, 5); (5, 6); (5, 7); (1, 5); (6, 7) ]
+
+let deblock_gadget_tree g = (g, [| 0; 0; 0; 0; 0; 2; 5; 5 |])
+
+let erdos_renyi rng ~n ~p =
+  if n < 1 || p < 0.0 || p > 1.0 then invalid_arg "Gen.erdos_renyi";
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Prng.bernoulli rng p then edges := (u, v) :: !edges
+    done
+  done;
+  Graph.of_edges ~n !edges
+
+(* Uniform random labelled tree via a Prüfer-like random attachment:
+   a random permutation is threaded and each node attaches to a random
+   earlier node of the permutation.  (Not the uniform distribution over all
+   trees — Prufer.random_tree provides that — but cheap and connected.) *)
+let random_attachment_tree rng n =
+  let order = Array.init n (fun i -> i) in
+  Prng.shuffle rng order;
+  let edges = ref [] in
+  for i = 1 to n - 1 do
+    let j = Prng.int rng i in
+    edges := (order.(i), order.(j)) :: !edges
+  done;
+  !edges
+
+let erdos_renyi_connected rng ~n ~p =
+  if n < 1 || p < 0.0 || p > 1.0 then invalid_arg "Gen.erdos_renyi_connected";
+  let tree = random_attachment_tree rng n in
+  let edges = ref tree in
+  (* The tree consumed n-1 of the expected p * n(n-1)/2 edges; add the rest
+     independently so density is approximately preserved. *)
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Prng.bernoulli rng p then edges := (u, v) :: !edges
+    done
+  done;
+  Graph.of_edges ~n !edges
+
+let random_connected rng ~n ~m =
+  let max_m = n * (n - 1) / 2 in
+  if n < 1 || m < n - 1 || m > max_m then invalid_arg "Gen.random_connected";
+  let tree = random_attachment_tree rng n in
+  let module ES = Set.Make (struct
+    type t = int * int
+
+    let compare = compare
+  end) in
+  let canon (u, v) = if u < v then (u, v) else (v, u) in
+  let have = ref (List.fold_left (fun s e -> ES.add (canon e) s) ES.empty tree) in
+  let extra = ref [] in
+  while ES.cardinal !have < m do
+    let u = Prng.int rng n and v = Prng.int rng n in
+    if u <> v then begin
+      let e = canon (u, v) in
+      if not (ES.mem e !have) then begin
+        have := ES.add e !have;
+        extra := e :: !extra
+      end
+    end
+  done;
+  Graph.of_edges ~n (tree @ !extra)
+
+let barabasi_albert rng ~n ~k =
+  if k < 1 || n < k + 1 then invalid_arg "Gen.barabasi_albert: n >= k+1, k >= 1";
+  (* Repeated-endpoints trick: sampling uniformly from the multiset of edge
+     endpoints is exactly degree-proportional sampling. *)
+  let endpoints = ref [] in
+  let n_endpoints = ref 0 in
+  let edges = ref [] in
+  let add_edge u v =
+    edges := (u, v) :: !edges;
+    endpoints := u :: v :: !endpoints;
+    n_endpoints := !n_endpoints + 2
+  in
+  (* Seed: a (k+1)-clique so early targets exist. *)
+  for u = 0 to k do
+    for v = u + 1 to k do
+      add_edge u v
+    done
+  done;
+  let endpoint_array = ref [||] in
+  let refresh () = endpoint_array := Array.of_list !endpoints in
+  refresh ();
+  for v = k + 1 to n - 1 do
+    let module IS = Set.Make (Int) in
+    let targets = ref IS.empty in
+    let guard = ref 0 in
+    while IS.cardinal !targets < k && !guard < 10_000 do
+      incr guard;
+      let t = Prng.choose rng !endpoint_array in
+      if t <> v then targets := IS.add t !targets
+    done;
+    IS.iter (fun t -> add_edge v t) !targets;
+    refresh ()
+  done;
+  Graph.of_edges ~n !edges
+
+let random_geometric_connected rng ~n ~radius =
+  if n < 1 || radius <= 0.0 then invalid_arg "Gen.random_geometric_connected";
+  let xs = Array.init n (fun _ -> Prng.float rng 1.0) in
+  let ys = Array.init n (fun _ -> Prng.float rng 1.0) in
+  let dist2 u v = ((xs.(u) -. xs.(v)) ** 2.0) +. ((ys.(u) -. ys.(v)) ** 2.0) in
+  let r2 = radius *. radius in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if dist2 u v <= r2 then edges := (u, v) :: !edges
+    done
+  done;
+  (* Patch connectivity: while several components remain, add the shortest
+     inter-component link — mimics deploying a relay node's radio link. *)
+  let uf = Union_find.create n in
+  List.iter (fun (u, v) -> ignore (Union_find.union uf u v)) !edges;
+  while Union_find.count uf > 1 do
+    let best = ref None in
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do
+        if not (Union_find.same uf u v) then begin
+          let d = dist2 u v in
+          match !best with
+          | Some (bd, _, _) when bd <= d -> ()
+          | _ -> best := Some (d, u, v)
+        end
+      done
+    done;
+    match !best with
+    | Some (_, u, v) ->
+        edges := (u, v) :: !edges;
+        ignore (Union_find.union uf u v)
+    | None -> assert false
+  done;
+  Graph.of_edges ~n !edges
+
+let random_regular rng ~n ~d =
+  if d < 1 || d >= n || (n * d) mod 2 <> 0 then invalid_arg "Gen.random_regular";
+  let attempt () =
+    let stubs = Array.make (n * d) 0 in
+    for v = 0 to n - 1 do
+      for j = 0 to d - 1 do
+        stubs.((v * d) + j) <- v
+      done
+    done;
+    Prng.shuffle rng stubs;
+    let module ES = Set.Make (struct
+      type t = int * int
+
+      let compare = compare
+    end) in
+    let ok = ref true in
+    let seen = ref ES.empty in
+    let edges = ref [] in
+    let i = ref 0 in
+    while !ok && !i < n * d do
+      let u = stubs.(!i) and v = stubs.(!i + 1) in
+      i := !i + 2;
+      let e = (min u v, max u v) in
+      if u = v || ES.mem e !seen then ok := false
+      else begin
+        seen := ES.add e !seen;
+        edges := e :: !edges
+      end
+    done;
+    if !ok then Some (Graph.of_edges ~n !edges) else None
+  in
+  let rec go tries =
+    if tries > 5_000 then invalid_arg "Gen.random_regular: too many restarts"
+    else
+      match attempt () with
+      | Some g when Algo.is_connected g -> g
+      | _ -> go (tries + 1)
+  in
+  go 0
+
+let with_random_ids rng g = Graph.relabel_ids g (Algo.random_ids rng (Graph.n g))
+
+let family_names =
+  [
+    "path"; "ring"; "star"; "wheel"; "grid"; "torus"; "hypercube"; "complete";
+    "petersen"; "lollipop"; "caterpillar"; "star-of-cliques"; "er"; "er-dense";
+    "ba"; "geometric"; "regular";
+  ]
+
+let by_name name rng ~n =
+  let isqrt x =
+    let r = int_of_float (sqrt (float_of_int x)) in
+    if (r + 1) * (r + 1) <= x then r + 1 else r
+  in
+  match name with
+  | "path" -> path n
+  | "ring" -> ring (max 3 n)
+  | "star" -> star (max 2 n)
+  | "wheel" -> wheel (max 4 n)
+  | "grid" ->
+      let r = max 2 (isqrt n) in
+      grid ~rows:r ~cols:(max 2 ((n + r - 1) / r))
+  | "torus" ->
+      let r = max 3 (isqrt n) in
+      torus ~rows:r ~cols:(max 3 ((n + r - 1) / r))
+  | "hypercube" ->
+      let d = max 2 (int_of_float (Float.round (log (float_of_int (max 4 n)) /. log 2.0))) in
+      hypercube d
+  | "complete" -> complete (max 3 n)
+  | "petersen" -> petersen ()
+  | "lollipop" -> lollipop ~clique:(max 3 (n / 2)) ~tail:(max 1 (n - max 3 (n / 2)))
+  | "caterpillar" -> caterpillar ~spine:(max 1 (n / 4)) ~legs:3
+  | "star-of-cliques" ->
+      let cliques = max 3 (n / 5) in
+      star_of_cliques ~cliques ~clique_size:4
+  | "er" -> erdos_renyi_connected rng ~n ~p:(2.5 *. log (float_of_int (max 2 n)) /. float_of_int n)
+  | "er-dense" -> erdos_renyi_connected rng ~n ~p:0.35
+  | "ba" -> barabasi_albert rng ~n ~k:2
+  | "geometric" ->
+      let radius = 1.8 *. sqrt (log (float_of_int (max 2 n)) /. float_of_int n) in
+      random_geometric_connected rng ~n ~radius
+  | "regular" ->
+      let n = if n * 3 mod 2 = 0 then n else n + 1 in
+      random_regular rng ~n ~d:3
+  | other -> invalid_arg (Printf.sprintf "Gen.by_name: unknown family %S" other)

@@ -1,0 +1,110 @@
+(** Graph generators — the workload families of EXPERIMENTS.md.
+
+    All generators take an explicit {!Mdst_util.Prng.t} so experiments are
+    reproducible.  Generators whose name carries the [_connected] suffix (or
+    that are connected by construction) guarantee a connected result, which
+    the paper's model requires. *)
+
+type rng = Mdst_util.Prng.t
+
+(** {1 Deterministic families} *)
+
+val path : int -> Graph.t
+(** The path P_n: the only graph whose MDST is trivially itself. *)
+
+val ring : int -> Graph.t
+(** Cycle C_n (n >= 3): removing any edge yields a degree-2 spanning tree. *)
+
+val star : int -> Graph.t
+(** K_{1,n-1}: the unique spanning tree has degree n-1 — worst case. *)
+
+val wheel : int -> Graph.t
+(** Hub + cycle of n-1 rim nodes (n >= 4); MDST degree is 3 for n >= 7. *)
+
+val grid : rows:int -> cols:int -> Graph.t
+
+val torus : rows:int -> cols:int -> Graph.t
+(** Wrap-around grid; requires [rows >= 3] and [cols >= 3]. *)
+
+val hypercube : int -> Graph.t
+(** The d-dimensional hypercube Q_d (2^d nodes); Hamiltonian, so Δ* = 2. *)
+
+val complete : int -> Graph.t
+(** K_n; Hamiltonian path exists, so Δ* = 2. *)
+
+val complete_bipartite : int -> int -> Graph.t
+
+val petersen : unit -> Graph.t
+(** The Petersen graph — hypohamiltonian: no Hamiltonian cycle but a
+    Hamiltonian path, hence Δ* = 2 and the +1 slack is observable. *)
+
+val lollipop : clique:int -> tail:int -> Graph.t
+(** K_clique with a pendant path of [tail] nodes; used by experiment E7. *)
+
+val caterpillar : spine:int -> legs:int -> Graph.t
+(** A spine path where every spine node carries [legs] pendant leaves; every
+    spanning tree is the graph itself (it is a tree), Δ* = legs + 2. *)
+
+val star_of_cliques : cliques:int -> clique_size:int -> Graph.t
+(** [cliques] disjoint K_{clique_size} whose node 0s are joined to one hub,
+    plus an outer cycle linking the cliques: many simultaneous max-degree
+    nodes — the workload of experiment E6. *)
+
+val binary_tree_with_chords : depth:int -> Graph.t
+(** Complete binary tree plus chords between consecutive leaves: the
+    internal degree-3 nodes can be relieved through the leaf chords. *)
+
+val deblock_gadget : unit -> Graph.t
+(** The smallest instance where the paper's Deblock machinery is {e
+    necessary}: node 0 is a degree-4 hub whose only improving edge [{5,1}]
+    has the degree-3 node 5 as a blocking endpoint, and the only way to
+    unblock 5 is the edge [{6,7}] inside its subtree.  Without recursive
+    unblocking the tree is stuck at degree 4; with it, degree 3 = Δ*.
+    Start from {!deblock_gadget_tree}. *)
+
+val deblock_gadget_tree : Graph.t -> Graph.t * int array
+(** The blocked starting tree for {!deblock_gadget} (parents array, rooted
+    at node 0); returned with the graph for convenience. *)
+
+(** {1 Random families} *)
+
+val erdos_renyi : rng -> n:int -> p:float -> Graph.t
+(** G(n, p); possibly disconnected. *)
+
+val erdos_renyi_connected : rng -> n:int -> p:float -> Graph.t
+(** G(n, p) conditioned on connectivity: a uniform random spanning tree is
+    laid down first and each remaining pair is added with probability
+    adjusted so the expected edge count matches G(n, p). *)
+
+val random_connected : rng -> n:int -> m:int -> Graph.t
+(** Uniform random tree (Prüfer) plus [m - (n-1)] extra distinct edges.
+    Requires [n-1 <= m <= n(n-1)/2]. *)
+
+val barabasi_albert : rng -> n:int -> k:int -> Graph.t
+(** Preferential attachment, [k] links per arriving node; connected.
+    Produces the heavy-tailed degree distributions of the paper's P2P
+    motivation. *)
+
+val random_geometric_connected : rng -> n:int -> radius:float -> Graph.t
+(** n points uniform in the unit square, edge iff distance <= radius; the
+    result is patched to connectivity by linking nearest components.  The
+    sensor-network workload of the paper's introduction. *)
+
+val random_regular : rng -> n:int -> d:int -> Graph.t
+(** Random d-regular graph by pairing with restarts; requires [n*d] even,
+    [d < n].  Connected with high probability for d >= 3 (resampled until
+    connected). *)
+
+(** {1 Utilities} *)
+
+val with_random_ids : rng -> Graph.t -> Graph.t
+(** Assign a random permutation of [0..n-1] as protocol identifiers, so the
+    minimum-ID root lands on a random node. *)
+
+val family_names : string list
+(** The named families the CLI and the experiment harness expose. *)
+
+val by_name : string -> rng -> n:int -> Graph.t
+(** Look up a family by name with a single size parameter (density and
+    shape parameters take the documented defaults).
+    @raise Invalid_argument on unknown names. *)

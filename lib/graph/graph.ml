@@ -1,0 +1,155 @@
+type t = {
+  n : int;
+  adj : int array array;
+  edges : (int * int) array;
+  ids : int array;
+  id_index : (int, int) Hashtbl.t;
+}
+
+let check_ids ~n ids =
+  if Array.length ids <> n then invalid_arg "Graph: ids length mismatch";
+  let seen = Hashtbl.create n in
+  Array.iter
+    (fun id ->
+      if Hashtbl.mem seen id then invalid_arg "Graph: duplicate identifier";
+      Hashtbl.add seen id ())
+    ids
+
+let build ~n ~ids edge_list =
+  let module ES = Set.Make (struct
+    type t = int * int
+
+    let compare = compare
+  end) in
+  let canon (u, v) =
+    if u = v then invalid_arg "Graph: self-loop";
+    if u < 0 || v < 0 || u >= n || v >= n then invalid_arg "Graph: endpoint out of range";
+    if u < v then (u, v) else (v, u)
+  in
+  let set = List.fold_left (fun acc e -> ES.add (canon e) acc) ES.empty edge_list in
+  let edges = Array.of_list (ES.elements set) in
+  let deg = Array.make n 0 in
+  Array.iter
+    (fun (u, v) ->
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    edges;
+  let adj = Array.init n (fun i -> Array.make deg.(i) 0) in
+  let fill = Array.make n 0 in
+  Array.iter
+    (fun (u, v) ->
+      adj.(u).(fill.(u)) <- v;
+      fill.(u) <- fill.(u) + 1;
+      adj.(v).(fill.(v)) <- u;
+      fill.(v) <- fill.(v) + 1)
+    edges;
+  Array.iter (fun a -> Array.sort compare a) adj;
+  let id_index = Hashtbl.create n in
+  Array.iteri (fun i id -> Hashtbl.add id_index id i) ids;
+  { n; adj; edges; ids; id_index }
+
+let of_edges ?ids ~n edge_list =
+  if n < 0 then invalid_arg "Graph: negative node count";
+  let ids = match ids with Some a -> Array.copy a | None -> Array.init n (fun i -> i) in
+  check_ids ~n ids;
+  build ~n ~ids edge_list
+
+let complete n =
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  of_edges ~n !edges
+
+let empty n = of_edges ~n []
+
+let n g = g.n
+
+let m g = Array.length g.edges
+
+let neighbors g i = g.adj.(i)
+
+let degree g i = Array.length g.adj.(i)
+
+let max_degree g =
+  let best = ref 0 in
+  for i = 0 to g.n - 1 do
+    if degree g i > !best then best := degree g i
+  done;
+  !best
+
+let min_degree g =
+  if g.n = 0 then 0
+  else begin
+    let best = ref max_int in
+    for i = 0 to g.n - 1 do
+      if degree g i < !best then best := degree g i
+    done;
+    !best
+  end
+
+let mem_edge g u v =
+  if u < 0 || v < 0 || u >= g.n || v >= g.n || u = v then false
+  else begin
+    let a = g.adj.(u) in
+    let rec bsearch lo hi =
+      if lo > hi then false
+      else
+        let mid = (lo + hi) / 2 in
+        if a.(mid) = v then true
+        else if a.(mid) < v then bsearch (mid + 1) hi
+        else bsearch lo (mid - 1)
+    in
+    bsearch 0 (Array.length a - 1)
+  end
+
+let edges g = g.edges
+
+let id g i = g.ids.(i)
+
+let index_of_id g identifier =
+  match Hashtbl.find_opt g.id_index identifier with
+  | Some i -> i
+  | None -> raise Not_found
+
+let min_id_node g =
+  if g.n = 0 then invalid_arg "Graph.min_id_node: empty graph";
+  let best = ref 0 in
+  for i = 1 to g.n - 1 do
+    if g.ids.(i) < g.ids.(!best) then best := i
+  done;
+  !best
+
+let relabel_ids g ids =
+  check_ids ~n:g.n ids;
+  let ids = Array.copy ids in
+  let id_index = Hashtbl.create g.n in
+  Array.iteri (fun i v -> Hashtbl.add id_index v i) ids;
+  { g with ids; id_index }
+
+let iter_nodes g f =
+  for i = 0 to g.n - 1 do
+    f i
+  done
+
+let iter_edges g f = Array.iter (fun (u, v) -> f u v) g.edges
+
+let fold_edges g ~init ~f = Array.fold_left (fun acc (u, v) -> f acc u v) init g.edges
+
+let non_edges g =
+  let acc = ref [] in
+  for u = g.n - 1 downto 0 do
+    for v = g.n - 1 downto u + 1 do
+      if not (mem_edge g u v) then acc := (u, v) :: !acc
+    done
+  done;
+  !acc
+
+let equal a b = a.n = b.n && a.edges = b.edges && a.ids = b.ids
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>graph n=%d m=%d@," g.n (m g);
+  iter_edges g (fun u v -> Format.fprintf ppf "  %d -- %d@," u v);
+  Format.fprintf ppf "@]"

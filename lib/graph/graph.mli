@@ -1,0 +1,77 @@
+(** Undirected simple graphs over nodes [0 .. n-1].
+
+    This is the topology substrate for the whole repository: the simulator
+    instantiates one process per node, the MDST protocol runs on top, and all
+    baselines consume the same structure.  Nodes are dense integer indices;
+    each node additionally carries a {e protocol identifier} ([id]) because
+    the paper's algorithm breaks symmetry by unique IDs (the spanning tree
+    roots itself at the minimum ID).  By default [id i = i], but generators
+    can permute IDs to exercise the ID-dependent code paths. *)
+
+type t
+
+(** {1 Construction} *)
+
+val of_edges : ?ids:int array -> n:int -> (int * int) list -> t
+(** [of_edges ~n edges] builds a graph with [n] nodes.  Self-loops are
+    rejected; duplicate edges (in either orientation) are collapsed.
+    @raise Invalid_argument on out-of-range endpoints, self-loops, or if
+    [ids] is not a permutation-free array of [n] distinct identifiers. *)
+
+val complete : int -> t
+
+val empty : int -> t
+
+(** {1 Accessors} *)
+
+val n : t -> int
+(** Number of nodes. *)
+
+val m : t -> int
+(** Number of edges. *)
+
+val neighbors : t -> int -> int array
+(** Sorted neighbour array; the returned array must not be mutated. *)
+
+val degree : t -> int -> int
+
+val max_degree : t -> int
+
+val min_degree : t -> int
+
+val mem_edge : t -> int -> int -> bool
+(** O(log degree). *)
+
+val edges : t -> (int * int) array
+(** Each edge appears once, as [(u, v)] with [u < v]; the array is sorted and
+    must not be mutated. *)
+
+val id : t -> int -> int
+(** Protocol identifier of node index [i]. *)
+
+val index_of_id : t -> int -> int
+(** Inverse of {!id}. @raise Not_found for unknown identifiers. *)
+
+val min_id_node : t -> int
+(** Node index holding the smallest protocol identifier. *)
+
+val relabel_ids : t -> int array -> t
+(** [relabel_ids g ids] is [g] with fresh protocol identifiers. *)
+
+(** {1 Iteration} *)
+
+val iter_nodes : t -> (int -> unit) -> unit
+
+val iter_edges : t -> (int -> int -> unit) -> unit
+
+val fold_edges : t -> init:'a -> f:('a -> int -> int -> 'a) -> 'a
+
+(** {1 Misc} *)
+
+val non_edges : t -> (int * int) list
+(** All node pairs not joined by an edge ([u < v]). O(n^2). *)
+
+val equal : t -> t -> bool
+(** Structural equality on node count, edge set and identifiers. *)
+
+val pp : Format.formatter -> t -> unit

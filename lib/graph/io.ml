@@ -1,0 +1,54 @@
+let to_string g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "n %d\n" (Graph.n g));
+  let default_ids = ref true in
+  Graph.iter_nodes g (fun v -> if Graph.id g v <> v then default_ids := false);
+  if not !default_ids then begin
+    Buffer.add_string buf "ids";
+    Graph.iter_nodes g (fun v -> Buffer.add_string buf (Printf.sprintf " %d" (Graph.id g v)));
+    Buffer.add_char buf '\n'
+  end;
+  Graph.iter_edges g (fun u v -> Buffer.add_string buf (Printf.sprintf "%d %d\n" u v));
+  Buffer.contents buf
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let n = ref (-1) in
+  let ids = ref None in
+  let edges = ref [] in
+  List.iteri
+    (fun lineno line ->
+      let line = String.trim line in
+      if line <> "" && line.[0] <> '#' then begin
+        let fail msg = invalid_arg (Printf.sprintf "Io.of_string: line %d: %s" (lineno + 1) msg) in
+        match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+        | [ "n"; v ] -> (
+            match int_of_string_opt v with
+            | Some v when v >= 0 -> n := v
+            | _ -> fail "bad node count")
+        | "ids" :: rest ->
+            let parse s =
+              match int_of_string_opt s with Some v -> v | None -> fail "bad identifier"
+            in
+            ids := Some (Array.of_list (List.map parse rest))
+        | [ a; b ] -> (
+            match (int_of_string_opt a, int_of_string_opt b) with
+            | Some a, Some b -> edges := (a, b) :: !edges
+            | _ -> fail "bad edge")
+        | _ -> fail "unrecognised line"
+      end)
+    lines;
+  if !n < 0 then invalid_arg "Io.of_string: missing 'n <count>' header";
+  Graph.of_edges ?ids:!ids ~n:!n (List.rev !edges)
+
+let save path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string g))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

@@ -1,0 +1,26 @@
+(** Plain-text graph exchange format.
+
+    The format is line-based and diff-friendly:
+
+    {v
+    # optional comments
+    n 5
+    ids 10 11 12 13 14        (optional; defaults to 0..n-1)
+    0 1
+    1 2
+    ...
+    v}
+
+    Used by the CLI's [--input]/[--save-graph] so experiments can run on
+    user-supplied topologies. *)
+
+val to_string : Graph.t -> string
+
+val of_string : string -> Graph.t
+(** @raise Invalid_argument on malformed input. *)
+
+val save : string -> Graph.t -> unit
+(** [save path g] writes the textual form to [path]. *)
+
+val load : string -> Graph.t
+(** @raise Invalid_argument on malformed input; @raise Sys_error on IO. *)

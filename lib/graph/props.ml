@@ -1,0 +1,97 @@
+let density g =
+  let n = Graph.n g in
+  if n < 2 then 0.0 else 2.0 *. float_of_int (Graph.m g) /. float_of_int (n * (n - 1))
+
+let average_degree g =
+  let n = Graph.n g in
+  if n = 0 then 0.0 else 2.0 *. float_of_int (Graph.m g) /. float_of_int n
+
+let degree_histogram g =
+  let h = Array.make (Graph.max_degree g + 1) 0 in
+  Graph.iter_nodes g (fun v ->
+      let d = Graph.degree g v in
+      h.(d) <- h.(d) + 1);
+  h
+
+let triangle_count g =
+  (* For each edge (u,v), count common neighbours w > v to count each
+     triangle once (u < v < w ordering via sorted adjacency). *)
+  let count = ref 0 in
+  Graph.iter_edges g (fun u v ->
+      Array.iter
+        (fun w -> if w > v && Graph.mem_edge g u w then incr count)
+        (Graph.neighbors g v));
+  !count
+
+let wedge_count g =
+  let acc = ref 0 in
+  Graph.iter_nodes g (fun v ->
+      let d = Graph.degree g v in
+      acc := !acc + (d * (d - 1) / 2));
+  !acc
+
+let global_clustering g =
+  let wedges = wedge_count g in
+  if wedges = 0 then 0.0 else 3.0 *. float_of_int (triangle_count g) /. float_of_int wedges
+
+let average_local_clustering g =
+  let n = Graph.n g in
+  if n = 0 then 0.0
+  else begin
+    let total = ref 0.0 in
+    Graph.iter_nodes g (fun v ->
+        let nbrs = Graph.neighbors g v in
+        let d = Array.length nbrs in
+        if d >= 2 then begin
+          let links = ref 0 in
+          Array.iteri
+            (fun i u ->
+              for j = i + 1 to d - 1 do
+                if Graph.mem_edge g u nbrs.(j) then incr links
+              done)
+            nbrs;
+          total := !total +. (2.0 *. float_of_int !links /. float_of_int (d * (d - 1)))
+        end);
+    !total /. float_of_int n
+  end
+
+let degree_assortativity g =
+  let m = Graph.m g in
+  if m < 2 then 0.0
+  else begin
+    (* Pearson correlation over the 2m ordered endpoint pairs. *)
+    let sx = ref 0.0 and sy = ref 0.0 and sxx = ref 0.0 and syy = ref 0.0 and sxy = ref 0.0 in
+    let count = float_of_int (2 * m) in
+    let accumulate a b =
+      let x = float_of_int (Graph.degree g a) and y = float_of_int (Graph.degree g b) in
+      sx := !sx +. x;
+      sy := !sy +. y;
+      sxx := !sxx +. (x *. x);
+      syy := !syy +. (y *. y);
+      sxy := !sxy +. (x *. y)
+    in
+    Graph.iter_edges g (fun u v ->
+        accumulate u v;
+        accumulate v u);
+    let cov = (!sxy /. count) -. (!sx /. count *. (!sy /. count)) in
+    let var_x = (!sxx /. count) -. ((!sx /. count) ** 2.0) in
+    let var_y = (!syy /. count) -. ((!sy /. count) ** 2.0) in
+    if var_x <= 0.0 || var_y <= 0.0 then 0.0 else cov /. sqrt (var_x *. var_y)
+  end
+
+let summary g =
+  [
+    ("nodes", string_of_int (Graph.n g));
+    ("edges", string_of_int (Graph.m g));
+    ("density", Printf.sprintf "%.4f" (density g));
+    ("average degree", Printf.sprintf "%.2f" (average_degree g));
+    ("max degree", string_of_int (Graph.max_degree g));
+    ("min degree", string_of_int (Graph.min_degree g));
+    ("connected", string_of_bool (Algo.is_connected g));
+    ("diameter", string_of_int (Algo.diameter g));
+    ("bridges", string_of_int (List.length (Algo.bridges g)));
+    ("triangles", string_of_int (triangle_count g));
+    ("global clustering", Printf.sprintf "%.4f" (global_clustering g));
+    ("avg local clustering", Printf.sprintf "%.4f" (average_local_clustering g));
+    ("degree assortativity", Printf.sprintf "%.4f" (degree_assortativity g));
+  ]

@@ -1,0 +1,28 @@
+(** Structural graph statistics, for workload characterisation in reports
+    and the CLI's [props] subcommand.  The paper's motivation is about
+    degree concentration (hubs), so the hub-oriented measures matter most
+    here. *)
+
+val density : Graph.t -> float
+(** m / (n choose 2); 0 for graphs with fewer than two nodes. *)
+
+val average_degree : Graph.t -> float
+
+val degree_histogram : Graph.t -> int array
+(** [h.(d)] = number of nodes of degree [d]; length [max_degree + 1]. *)
+
+val triangle_count : Graph.t -> int
+
+val global_clustering : Graph.t -> float
+(** 3 * triangles / wedges (transitivity); 0 when there are no wedges. *)
+
+val average_local_clustering : Graph.t -> float
+(** Watts–Strogatz mean of per-node clustering coefficients. *)
+
+val degree_assortativity : Graph.t -> float
+(** Pearson correlation of endpoint degrees over edges; 0 when undefined
+    (fewer than 2 edges or constant degrees).  Negative values mean hubs
+    attach to leaves (typical for BA graphs). *)
+
+val summary : Graph.t -> (string * string) list
+(** Human-readable key/value lines for the CLI. *)

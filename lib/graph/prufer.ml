@@ -1,0 +1,92 @@
+module Prng = Mdst_util.Prng
+
+let encode ~n edges =
+  if n < 2 then invalid_arg "Prufer.encode: n >= 2";
+  if List.length edges <> n - 1 then invalid_arg "Prufer.encode: wrong edge count";
+  let deg = Array.make n 0 in
+  let adj = Array.make n [] in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || v < 0 || u >= n || v >= n || u = v then
+        invalid_arg "Prufer.encode: bad edge";
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1;
+      adj.(u) <- v :: adj.(u);
+      adj.(v) <- u :: adj.(v))
+    edges;
+  let removed = Array.make n false in
+  (* Min-heap of current leaves. *)
+  let heap = Mdst_util.Heap.create () in
+  for v = 0 to n - 1 do
+    if deg.(v) = 1 then Mdst_util.Heap.push heap ~prio:(float_of_int v) v
+  done;
+  let seq = Array.make (max 0 (n - 2)) 0 in
+  for i = 0 to n - 3 do
+    let leaf =
+      let rec next () =
+        match Mdst_util.Heap.pop heap with
+        | Some (_, v) when (not removed.(v)) && deg.(v) = 1 -> v
+        | Some _ -> next ()
+        | None -> invalid_arg "Prufer.encode: edges do not form a tree"
+      in
+      next ()
+    in
+    removed.(leaf) <- true;
+    let neighbour =
+      match List.find_opt (fun u -> not removed.(u)) adj.(leaf) with
+      | Some u -> u
+      | None -> invalid_arg "Prufer.encode: edges do not form a tree"
+    in
+    seq.(i) <- neighbour;
+    deg.(neighbour) <- deg.(neighbour) - 1;
+    deg.(leaf) <- 0;
+    if deg.(neighbour) = 1 then
+      Mdst_util.Heap.push heap ~prio:(float_of_int neighbour) neighbour
+  done;
+  seq
+
+let decode ~n seq =
+  if n < 2 then invalid_arg "Prufer.decode: n >= 2";
+  if Array.length seq <> n - 2 then invalid_arg "Prufer.decode: wrong length";
+  Array.iter (fun v -> if v < 0 || v >= n then invalid_arg "Prufer.decode: out of range") seq;
+  let deg = Array.make n 1 in
+  Array.iter (fun v -> deg.(v) <- deg.(v) + 1) seq;
+  let heap = Mdst_util.Heap.create () in
+  for v = 0 to n - 1 do
+    if deg.(v) = 1 then Mdst_util.Heap.push heap ~prio:(float_of_int v) v
+  done;
+  let edges = ref [] in
+  Array.iter
+    (fun v ->
+      match Mdst_util.Heap.pop heap with
+      | Some (_, leaf) ->
+          edges := (min leaf v, max leaf v) :: !edges;
+          deg.(leaf) <- 0;
+          deg.(v) <- deg.(v) - 1;
+          if deg.(v) = 1 then Mdst_util.Heap.push heap ~prio:(float_of_int v) v
+      | None -> invalid_arg "Prufer.decode: malformed sequence")
+    seq;
+  (* Two leaves remain; join them. *)
+  let rest = ref [] in
+  for v = 0 to n - 1 do
+    if deg.(v) = 1 then rest := v :: !rest
+  done;
+  (match !rest with
+  | [ a; b ] -> edges := (min a b, max a b) :: !edges
+  | _ -> invalid_arg "Prufer.decode: malformed sequence");
+  !edges
+
+let random_tree rng ~n =
+  if n < 2 then invalid_arg "Prufer.random_tree: n >= 2";
+  if n = 2 then [ (0, 1) ]
+  else decode ~n (Array.init (n - 2) (fun _ -> Prng.int rng n))
+
+let random_spanning_tree_edges rng g =
+  let edges = Array.copy (Graph.edges g) in
+  Prng.shuffle rng edges;
+  let uf = Union_find.create (Graph.n g) in
+  let kept = ref [] in
+  Array.iter (fun (u, v) -> if Union_find.union uf u v then kept := (u, v) :: !kept) edges;
+  if List.length !kept <> Graph.n g - 1 then
+    invalid_arg "Prufer.random_spanning_tree_edges: graph is disconnected";
+  !kept

@@ -1,0 +1,22 @@
+(** Prüfer sequences: the classical bijection between labelled trees on n
+    nodes and sequences in [\[0, n)]^(n-2).
+
+    Used to generate uniformly random labelled trees (initial spanning trees
+    for the protocol, adversarial initial configurations) and as a
+    property-testing oracle: encode ∘ decode must be the identity. *)
+
+val encode : n:int -> (int * int) list -> int array
+(** [encode ~n edges] — Prüfer sequence of the tree given by its edge list.
+    @raise Invalid_argument if the edges do not form a tree on [n >= 2]
+    nodes. *)
+
+val decode : n:int -> int array -> (int * int) list
+(** Inverse of {!encode}; [n >= 2] and the sequence must have length
+    [n - 2] with entries in range. *)
+
+val random_tree : Mdst_util.Prng.t -> n:int -> (int * int) list
+(** A uniformly random labelled tree (uniform over all n^(n-2) trees). *)
+
+val random_spanning_tree_edges : Mdst_util.Prng.t -> Graph.t -> (int * int) list
+(** Random spanning tree of an arbitrary connected graph via randomised
+    Kruskal (not uniform, but supported on all spanning trees). *)

@@ -1,0 +1,178 @@
+type t = {
+  graph : Graph.t;
+  root : int;
+  parents : int array;
+  depths : int array;
+  degrees : int array;
+  children : int list array;
+}
+
+exception Invalid of string
+
+let invalid fmt = Format.kasprintf (fun s -> raise (Invalid s)) fmt
+
+let finish graph ~root parents =
+  let n = Graph.n graph in
+  let children = Array.make n [] in
+  for v = n - 1 downto 0 do
+    if v <> root then begin
+      let p = parents.(v) in
+      children.(p) <- v :: children.(p)
+    end
+  done;
+  let depths = Array.make n (-1) in
+  let degrees = Array.make n 0 in
+  depths.(root) <- 0;
+  (* BFS from the root over parent links guarantees every depth is set iff
+     the parent structure is acyclic and spanning. *)
+  let visited = ref 1 in
+  let q = Queue.create () in
+  Queue.add root q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    List.iter
+      (fun c ->
+        if depths.(c) <> -1 then invalid "node %d reached twice" c;
+        depths.(c) <- depths.(v) + 1;
+        incr visited;
+        Queue.add c q)
+      children.(v)
+  done;
+  if !visited <> n then invalid "parent structure is not spanning (%d of %d reached)" !visited n;
+  for v = 0 to n - 1 do
+    degrees.(v) <- List.length children.(v) + if v = root then 0 else 1
+  done;
+  { graph; root; parents; depths; degrees; children }
+
+let of_parents graph ~root parents =
+  let n = Graph.n graph in
+  if n = 0 then invalid "empty graph";
+  if Array.length parents <> n then invalid "parents length mismatch";
+  if root < 0 || root >= n then invalid "root out of range";
+  if parents.(root) <> root then invalid "root must be its own parent";
+  Array.iteri
+    (fun v p ->
+      if v <> root then begin
+        if p < 0 || p >= n then invalid "parent of %d out of range" v;
+        if p = v then invalid "non-root node %d is its own parent" v;
+        if not (Graph.mem_edge graph v p) then invalid "parent link %d->%d is not a graph edge" v p
+      end)
+    parents;
+  finish graph ~root (Array.copy parents)
+
+let of_edge_list graph ~root edges =
+  let n = Graph.n graph in
+  if List.length edges <> n - 1 then invalid "expected %d edges, got %d" (n - 1) (List.length edges);
+  let adj = Array.make n [] in
+  List.iter
+    (fun (u, v) ->
+      if not (Graph.mem_edge graph u v) then invalid "edge %d-%d not in graph" u v;
+      adj.(u) <- v :: adj.(u);
+      adj.(v) <- u :: adj.(v))
+    edges;
+  let parents = Array.make n (-1) in
+  parents.(root) <- root;
+  let q = Queue.create () in
+  Queue.add root q;
+  let visited = ref 1 in
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    List.iter
+      (fun u ->
+        if parents.(u) = -1 then begin
+          parents.(u) <- v;
+          incr visited;
+          Queue.add u q
+        end)
+      adj.(v)
+  done;
+  if !visited <> n then invalid "edge list does not span the graph";
+  finish graph ~root parents
+
+let graph t = t.graph
+
+let root t = t.root
+
+let parent t v = t.parents.(v)
+
+let depth t v = t.depths.(v)
+
+let degree t v = t.degrees.(v)
+
+let max_degree t = Array.fold_left max 0 t.degrees
+
+let max_degree_nodes t =
+  let k = max_degree t in
+  let acc = ref [] in
+  for v = Graph.n t.graph - 1 downto 0 do
+    if t.degrees.(v) = k then acc := v :: !acc
+  done;
+  !acc
+
+let children t v = t.children.(v)
+
+let is_tree_edge t u v = (u <> v) && (t.parents.(u) = v || t.parents.(v) = u)
+
+let edge_list t =
+  let acc = ref [] in
+  Array.iteri
+    (fun v p -> if v <> t.root then acc := (if v < p then (v, p) else (p, v)) :: !acc)
+    t.parents;
+  List.sort compare !acc
+
+let non_tree_edges t =
+  Graph.fold_edges t.graph ~init:[] ~f:(fun acc u v ->
+      if is_tree_edge t u v then acc else (u, v) :: acc)
+  |> List.sort compare
+
+let path_to_root t v =
+  let rec up v acc = if v = t.root then List.rev (v :: acc) else up t.parents.(v) (v :: acc) in
+  up v []
+
+let fundamental_cycle t (u, v) =
+  if not (Graph.mem_edge t.graph u v) then invalid "%d-%d is not a graph edge" u v;
+  if is_tree_edge t u v then invalid "%d-%d is a tree edge" u v;
+  (* Walk both endpoints up to their LCA, guided by depths. *)
+  let rec climb a b up_a up_b =
+    if a = b then (a, up_a, up_b)
+    else if t.depths.(a) >= t.depths.(b) then climb t.parents.(a) b (a :: up_a) up_b
+    else climb a t.parents.(b) up_a (b :: up_b)
+  in
+  let lca, from_u_rev, from_v_rev = climb u v [] [] in
+  (* from_u_rev = [.. ; u] upward; from_v_rev likewise: glue u..lca..v. *)
+  List.rev_append from_u_rev (lca :: from_v_rev)
+
+let swap t ~remove ~add =
+  let ru, rv = remove and au, av = add in
+  if not (is_tree_edge t ru rv) then invalid "swap: %d-%d is not a tree edge" ru rv;
+  if not (Graph.mem_edge t.graph au av) then invalid "swap: %d-%d is not a graph edge" au av;
+  if is_tree_edge t au av then invalid "swap: %d-%d is already a tree edge" au av;
+  let cycle = fundamental_cycle t (au, av) in
+  let on_cycle =
+    let rec consecutive = function
+      | a :: (b :: _ as rest) ->
+          ((a = ru && b = rv) || (a = rv && b = ru)) || consecutive rest
+      | _ -> false
+    in
+    consecutive cycle
+  in
+  if not on_cycle then invalid "swap: removed edge is not on the fundamental cycle of the added edge";
+  let keep = List.filter (fun e -> e <> (min ru rv, max ru rv)) (edge_list t) in
+  of_edge_list t.graph ~root:t.root ((min au av, max au av) :: keep)
+
+let in_subtree t ~root:w v =
+  let rec up x = x = w || (x <> t.root && up t.parents.(x)) in
+  up v
+
+let equal_edges a b = edge_list a = edge_list b
+
+let degree_histogram t =
+  let k = max_degree t in
+  let h = Array.make (k + 1) 0 in
+  Array.iter (fun d -> h.(d) <- h.(d) + 1) t.degrees;
+  h
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>tree root=%d deg=%d@," t.root (max_degree t);
+  List.iter (fun (u, v) -> Format.fprintf ppf "  %d -- %d@," u v) (edge_list t);
+  Format.fprintf ppf "@]"

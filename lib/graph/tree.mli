@@ -1,0 +1,80 @@
+(** Rooted spanning trees of a {!Graph.t}, as parent-pointer arrays.
+
+    This is the common currency between the protocol checker, the sequential
+    baselines and the exact solver: all of them produce or consume values of
+    this type.  A tree is always validated against its host graph — every
+    parent link must be a real graph edge, there must be exactly one root,
+    and every node must reach it. *)
+
+type t
+
+exception Invalid of string
+
+(** {1 Construction} *)
+
+val of_parents : Graph.t -> root:int -> int array -> t
+(** [of_parents g ~root parents] checks that [parents] describes a spanning
+    tree of [g] rooted at [root] (with [parents.(root) = root]).
+    @raise Invalid otherwise. *)
+
+val of_edge_list : Graph.t -> root:int -> (int * int) list -> t
+(** Builds the parent orientation by BFS from [root] over the given edges.
+    @raise Invalid if the edges do not form a spanning tree of [g]. *)
+
+(** {1 Accessors} *)
+
+val graph : t -> Graph.t
+
+val root : t -> int
+
+val parent : t -> int -> int
+(** [parent t root = root]. *)
+
+val depth : t -> int -> int
+
+val degree : t -> int -> int
+(** Degree of the node {e in the tree} (children + parent edge). *)
+
+val max_degree : t -> int
+(** [deg(T)] in the paper's notation: the degree of the tree. *)
+
+val max_degree_nodes : t -> int list
+(** All nodes whose tree degree equals {!max_degree}. *)
+
+val children : t -> int -> int list
+
+val is_tree_edge : t -> int -> int -> bool
+
+val edge_list : t -> (int * int) list
+(** The n-1 tree edges, each as [(u, v)] with [u < v], sorted. *)
+
+val non_tree_edges : t -> (int * int) list
+(** Graph edges absent from the tree, sorted. *)
+
+(** {1 Structure} *)
+
+val path_to_root : t -> int -> int list
+(** [path_to_root t v] is [v; parent v; ...; root]. *)
+
+val fundamental_cycle : t -> int * int -> int list
+(** [fundamental_cycle t (u, v)] for a non-tree edge [{u,v}] returns the tree
+    path [u; ...; v] (both endpoints included); adding edge [{u,v}] closes
+    the fundamental cycle C_e of the paper.
+    @raise Invalid if [{u,v}] is a tree edge or not a graph edge. *)
+
+val swap : t -> remove:int * int -> add:int * int -> t
+(** [swap t ~remove ~add] exchanges a tree edge for a non-tree edge.  The
+    root is preserved.  @raise Invalid if [remove] is not a tree edge, [add]
+    is not a graph edge, or the exchange disconnects the tree (i.e. [remove]
+    does not lie on the fundamental cycle of [add]). *)
+
+val in_subtree : t -> root:int -> int -> bool
+(** [in_subtree t ~root:w v] — is [v] in the subtree hanging from [w]? *)
+
+val equal_edges : t -> t -> bool
+(** Same undirected edge set (orientation ignored). *)
+
+val degree_histogram : t -> int array
+(** [h.(d)] = number of nodes of tree degree [d]; length [max_degree + 1]. *)
+
+val pp : Format.formatter -> t -> unit

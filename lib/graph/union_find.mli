@@ -1,0 +1,23 @@
+(** Disjoint-set forest with union by rank and path compression.
+
+    Used by the random-spanning-tree and Kruskal baselines, by the exact MDST
+    branch-and-bound solver for connectivity pruning, and by graph
+    generators to enforce connectivity. *)
+
+type t
+
+val create : int -> t
+
+val find : t -> int -> int
+(** Representative of the element's set, with path compression. *)
+
+val union : t -> int -> int -> bool
+(** Merge two sets; returns [false] when already joined. *)
+
+val same : t -> int -> int -> bool
+
+val count : t -> int
+(** Number of disjoint sets currently alive. *)
+
+val copy : t -> t
+(** Independent snapshot (the branch-and-bound solver backtracks on it). *)

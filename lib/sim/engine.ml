@@ -1,0 +1,227 @@
+module Prng = Mdst_util.Prng
+module Heap = Mdst_util.Heap
+module Graph = Mdst_graph.Graph
+
+let fifo_epsilon = 1e-6
+
+(* What an attached observer sees; message payloads are reduced to their
+   family label so observers stay generic across protocols. *)
+type observation =
+  | Obs_tick of { node : int; round : int; time : float }
+  | Obs_deliver of { src : int; dst : int; label : string; round : int; time : float }
+
+module Make (A : Node.AUTOMATON) = struct
+  type event = Tick of int | Deliver of { src : int; dst : int; msg : A.msg }
+
+  type tagged = { event : event; tag : int }
+
+  type t = {
+    graph : Graph.t;
+    latency : Latency.t;
+    tick_period : float;
+    rng : Prng.t;
+    states : A.state array;
+    ctxs : A.msg Node.ctx array;
+    heap : tagged Heap.t;
+    last_arrival : float array array;  (* per ordered pair, FIFO floor *)
+    metrics : Metrics.t;
+    mutable now : float;
+    mutable round : int;
+    mutable current_tag : int;  (* tag of the event being processed *)
+    mutable deliveries : int;
+    mutable observer : (observation -> unit) option;
+  }
+
+  type init =
+    [ `Clean
+    | `Random
+    | `Custom of A.msg Node.ctx -> Prng.t -> A.state ]
+
+  let enqueue t ~src ~dst msg =
+    let lat = Latency.sample t.latency t.rng ~src ~dst in
+    let arrival = max (t.now +. lat) (t.last_arrival.(src).(dst) +. fifo_epsilon) in
+    t.last_arrival.(src).(dst) <- arrival;
+    Metrics.record_send t.metrics ~label:(A.msg_label msg)
+      ~bits:(A.msg_bits ~n:(Graph.n t.graph) msg);
+    Heap.push t.heap ~prio:arrival { event = Deliver { src; dst; msg }; tag = t.current_tag + 1 }
+
+  let make_ctx t i =
+    let neighbors = Graph.neighbors t.graph i in
+    {
+      Node.node = i;
+      id = Graph.id t.graph i;
+      n = Graph.n t.graph;
+      neighbors;
+      neighbor_ids = Array.map (Graph.id t.graph) neighbors;
+      send =
+        (fun dst msg ->
+          if not (Graph.mem_edge t.graph i dst) then
+            invalid_arg (Printf.sprintf "Engine: node %d sending to non-neighbour %d" i dst);
+          enqueue t ~src:i ~dst msg);
+      rng = Prng.create 0 (* replaced below *);
+      now = (fun () -> t.now);
+    }
+
+  let create ?(latency = Latency.uniform ()) ?(tick_period = 1.0) ?(seed = 42)
+      ?(init = `Clean) graph =
+    let n = Graph.n graph in
+    if n = 0 then invalid_arg "Engine.create: empty graph";
+    if not (Mdst_graph.Algo.is_connected graph) then
+      invalid_arg "Engine.create: graph must be connected";
+    let rng = Prng.create seed in
+    let t =
+      {
+        graph;
+        latency;
+        tick_period;
+        rng;
+        states = Array.make n (Obj.magic 0);
+        ctxs = Array.make n (Obj.magic 0);
+        heap = Heap.create ~capacity:(4 * n) ();
+        last_arrival = Array.make_matrix n n neg_infinity;
+        metrics = Metrics.create ();
+        now = 0.0;
+        round = 0;
+        current_tag = 0;
+        deliveries = 0;
+        observer = None;
+      }
+    in
+    for i = 0 to n - 1 do
+      let ctx = make_ctx t i in
+      t.ctxs.(i) <- { ctx with Node.rng = Prng.split rng }
+    done;
+    (* Initial states are installed without letting handlers send. *)
+    for i = 0 to n - 1 do
+      let state =
+        match init with
+        | `Clean -> A.init t.ctxs.(i)
+        | `Random -> A.random_state t.ctxs.(i) (Prng.split rng)
+        | `Custom f -> f t.ctxs.(i) (Prng.split rng)
+      in
+      t.states.(i) <- state
+    done;
+    (* Adversarial starts also corrupt channel contents. *)
+    (match init with
+    | `Random ->
+        Graph.iter_edges graph (fun u v ->
+            let inject_on src dst =
+              let k = Prng.int rng 3 in
+              for _ = 1 to k do
+                match A.random_msg t.ctxs.(src) rng with
+                | Some msg -> enqueue t ~src ~dst msg
+                | None -> ()
+              done
+            in
+            inject_on u v;
+            inject_on v u)
+    | `Clean | `Custom _ -> ());
+    (* Arm the periodic timers with a random phase each. *)
+    for i = 0 to n - 1 do
+      Heap.push t.heap ~prio:(Prng.float rng tick_period) { event = Tick i; tag = 1 }
+    done;
+    t
+
+  let graph t = t.graph
+
+  let state t i = t.states.(i)
+
+  let states t = t.states
+
+  let now t = t.now
+
+  let rounds t = t.round
+
+  let metrics t = t.metrics
+
+  let pending_events t = Heap.length t.heap
+
+  let in_flight_exists t pred =
+    List.exists
+      (fun (_, { event; _ }) ->
+        match event with Deliver { msg; _ } -> pred msg | Tick _ -> false)
+      (Heap.to_list t.heap)
+
+  let set_state t i s = t.states.(i) <- s
+
+  let observe t f = t.observer <- Some f
+
+  let unobserve t = t.observer <- None
+
+  let inject t ~src ~dst msg =
+    if not (Graph.mem_edge t.graph src dst) then invalid_arg "Engine.inject: not adjacent";
+    let saved = t.current_tag in
+    t.current_tag <- t.round;
+    enqueue t ~src ~dst msg;
+    t.current_tag <- saved
+
+  let corrupt t ?(fraction = 1.0) ?(channels = false) () =
+    let n = Graph.n t.graph in
+    let k = max 1 (int_of_float (Float.round (fraction *. float_of_int n))) in
+    let victims = Prng.sample_without_replacement t.rng (min k n) n in
+    List.iter
+      (fun i -> t.states.(i) <- A.random_state t.ctxs.(i) (Prng.split t.rng))
+      victims;
+    if channels then
+      List.iter
+        (fun i ->
+          Array.iter
+            (fun nb ->
+              match A.random_msg t.ctxs.(i) t.rng with
+              | Some msg -> inject t ~src:i ~dst:nb msg
+              | None -> ())
+            (Graph.neighbors t.graph i))
+        victims;
+    List.length victims
+
+  let step t =
+    match Heap.pop t.heap with
+    | None -> false
+    | Some (time, { event; tag }) ->
+        t.now <- max t.now time;
+        t.current_tag <- tag;
+        if tag > t.round then t.round <- tag;
+        (match event with
+        | Tick i ->
+            (match t.observer with
+            | Some f -> f (Obs_tick { node = i; round = t.round; time = t.now })
+            | None -> ());
+            t.states.(i) <- A.on_tick t.ctxs.(i) t.states.(i);
+            Metrics.record_state_bits t.metrics
+              (A.state_bits ~n:(Graph.n t.graph) t.states.(i));
+            Heap.push t.heap ~prio:(t.now +. t.tick_period) { event = Tick i; tag = tag + 1 }
+        | Deliver { src; dst; msg } ->
+            (match t.observer with
+            | Some f ->
+                f (Obs_deliver
+                     { src; dst; label = A.msg_label msg; round = t.round; time = t.now })
+            | None -> ());
+            t.deliveries <- t.deliveries + 1;
+            Metrics.record_delivery t.metrics;
+            t.states.(dst) <- A.on_message t.ctxs.(dst) t.states.(dst) ~src msg);
+        true
+
+  type outcome = {
+    converged : bool;
+    rounds : int;
+    time : float;
+    deliveries : int;
+  }
+
+  let run t ?(max_rounds = 200_000) ?(check_every = 1) ~stop () =
+    let next_check = ref (t.round + check_every) in
+    let finished = ref (stop t) in
+    while (not !finished) && t.round <= max_rounds do
+      if not (step t) then finished := true
+      else if t.round >= !next_check then begin
+        next_check := t.round + check_every;
+        if stop t then finished := true
+      end
+    done;
+    {
+      converged = stop t;
+      rounds = t.round;
+      time = t.now;
+      deliveries = t.deliveries;
+    }
+end

@@ -1,0 +1,101 @@
+(** The discrete-event execution engine.
+
+    The engine implements the paper's system model: an asynchronous
+    message-passing network with reliable FIFO channels.  Every node runs
+    one automaton instance; message transmissions receive a latency from the
+    {!Latency} model, and per-channel FIFO order is enforced even when a
+    later message samples a smaller latency.  A periodic local timer drives
+    the paper's "Do forever: send InfoMsg" loop.
+
+    {2 Round accounting}
+
+    [rounds t] reports the {e causal depth} of the execution: every event
+    carries a tag one larger than the tag of the event that caused it, and
+    the round counter is the maximum tag processed.  This is the standard
+    asynchronous-round measure the paper's time-complexity claims use — a
+    round is over once everything enabled at the start of the round has been
+    scheduled — and it is independent of the latency model's absolute
+    numbers. *)
+
+(** What an attached observer sees (message payloads are reduced to their
+    family label so observers remain protocol-generic). *)
+type observation =
+  | Obs_tick of { node : int; round : int; time : float }
+  | Obs_deliver of { src : int; dst : int; label : string; round : int; time : float }
+
+module Make (A : Node.AUTOMATON) : sig
+  type t
+
+  type init =
+    [ `Clean  (** every node boots via [A.init] *)
+    | `Random  (** adversarial start: [A.random_state] + corrupted channels *)
+    | `Custom of A.msg Node.ctx -> Mdst_util.Prng.t -> A.state ]
+
+  val create :
+    ?latency:Latency.t ->
+    ?tick_period:float ->
+    ?seed:int ->
+    ?init:init ->
+    Mdst_graph.Graph.t ->
+    t
+  (** Defaults: uniform latency, [tick_period = 1.0], [seed = 42],
+      [init = `Clean].  The graph must be connected and non-empty. *)
+
+  (** {1 Execution} *)
+
+  val step : t -> bool
+  (** Process one event; [false] when no event is pending (cannot happen
+      while ticks are armed). *)
+
+  type outcome = {
+    converged : bool;
+    rounds : int;
+    time : float;
+    deliveries : int;
+  }
+
+  val run :
+    t -> ?max_rounds:int -> ?check_every:int -> stop:(t -> bool) -> unit -> outcome
+  (** Run until [stop] holds (checked every [check_every] rounds, default 1)
+      or [max_rounds] (default 200_000) is exceeded. *)
+
+  (** {1 Observation} *)
+
+  val graph : t -> Mdst_graph.Graph.t
+
+  val state : t -> int -> A.state
+
+  val states : t -> A.state array
+  (** The live array — do not mutate; use {!set_state}. *)
+
+  val now : t -> float
+
+  val rounds : t -> int
+
+  val metrics : t -> Metrics.t
+
+  val pending_events : t -> int
+
+  val in_flight_exists : t -> (A.msg -> bool) -> bool
+  (** Is any queued message satisfying the predicate still undelivered? *)
+
+  (** {1 Fault injection} *)
+
+  val set_state : t -> int -> A.state -> unit
+
+  val corrupt : t -> ?fraction:float -> ?channels:bool -> unit -> int
+  (** Replace the state of a random [fraction] (default 1.0) of nodes by
+      [A.random_state], optionally also injecting random channel contents.
+      Returns the number of nodes hit. *)
+
+  val inject : t -> src:int -> dst:int -> A.msg -> unit
+  (** Force a message onto a channel (the endpoints must be adjacent). *)
+
+  (** {1 Observation hooks} *)
+
+  val observe : t -> (observation -> unit) -> unit
+  (** Install an observer called before each event is executed (tracing,
+      live statistics).  Replaces any previous observer. *)
+
+  val unobserve : t -> unit
+end

@@ -1,0 +1,57 @@
+module Prng = Mdst_util.Prng
+
+type t = { name : string; sample : Prng.t -> src:int -> dst:int -> float }
+
+let constant d =
+  if d <= 0.0 then invalid_arg "Latency.constant: delay must be positive";
+  { name = "constant"; sample = (fun _ ~src:_ ~dst:_ -> d) }
+
+let uniform ?(lo = 0.5) ?(hi = 1.5) () =
+  if lo <= 0.0 || hi < lo then invalid_arg "Latency.uniform";
+  { name = "uniform"; sample = (fun rng ~src:_ ~dst:_ -> lo +. Prng.float rng (hi -. lo)) }
+
+let exponential ?(mean = 1.0) () =
+  if mean <= 0.0 then invalid_arg "Latency.exponential";
+  {
+    name = "exponential";
+    sample = (fun rng ~src:_ ~dst:_ -> 0.01 +. Prng.exponential rng (1.0 /. mean));
+  }
+
+(* Deterministic per-link hash so the slowed set is stable across a run. *)
+let link_hash seed src dst =
+  let h = Prng.create (seed lxor (src * 1_000_003) lxor (dst * 7_368_787)) in
+  Prng.float h 1.0
+
+let slow_links ?(factor = 10.0) ?(fraction = 0.15) ~base seed =
+  {
+    name = "slow-links";
+    sample =
+      (fun rng ~src ~dst ->
+        let d = base.sample rng ~src ~dst in
+        if link_hash seed src dst < fraction then d *. factor else d);
+  }
+
+let node_skew ?(max_factor = 8.0) ~base seed =
+  {
+    name = "node-skew";
+    sample =
+      (fun rng ~src ~dst ->
+        let d = base.sample rng ~src ~dst in
+        let f = 1.0 +. (link_hash seed dst dst *. (max_factor -. 1.0)) in
+        d *. f);
+  }
+
+let sample t rng ~src ~dst = t.sample rng ~src ~dst
+
+let name t = t.name
+
+let names = [ "constant"; "uniform"; "exponential"; "slow-links"; "node-skew" ]
+
+let by_name name seed =
+  match name with
+  | "constant" -> constant 1.0
+  | "uniform" -> uniform ()
+  | "exponential" -> exponential ()
+  | "slow-links" -> slow_links ~base:(uniform ()) seed
+  | "node-skew" -> node_skew ~base:(uniform ()) seed
+  | other -> invalid_arg (Printf.sprintf "Latency.by_name: unknown model %S" other)

@@ -1,0 +1,38 @@
+(** Channel latency models — the "daemon" of the asynchronous model.
+
+    A latency model assigns each transmission a positive delay; the engine
+    preserves per-channel FIFO order regardless of the sampled values (late
+    messages never overtake earlier ones on the same link).  Varying the
+    model exercises different interleavings, which is how experiment E10
+    probes scheduler robustness. *)
+
+type t
+
+val constant : float -> t
+(** Every message takes exactly [d] time units: the synchronous daemon. *)
+
+val uniform : ?lo:float -> ?hi:float -> unit -> t
+(** Uniform in [\[lo, hi\]] (default [0.5, 1.5]): the random daemon. *)
+
+val exponential : ?mean:float -> unit -> t
+(** Heavy-ish tail; occasionally very slow deliveries. *)
+
+val slow_links : ?factor:float -> ?fraction:float -> base:t -> int -> t
+(** [slow_links ~base seed]: a deterministic [fraction] (default 0.15) of
+    ordered links is slowed by [factor] (default 10): an adversary that
+    starves fixed channels. *)
+
+val node_skew : ?max_factor:float -> base:t -> int -> t
+(** Per-receiver skew: some nodes are persistently slow to be reached,
+    emulating an unfair daemon. *)
+
+val sample : t -> Mdst_util.Prng.t -> src:int -> dst:int -> float
+
+val name : t -> string
+
+val by_name : string -> int -> t
+(** ["constant" | "uniform" | "exponential" | "slow-links" | "node-skew"],
+    seeded for the deterministic adversaries.
+    @raise Invalid_argument on unknown names. *)
+
+val names : string list

@@ -1,0 +1,70 @@
+type t = {
+  counts : (string, int ref) Hashtbl.t;
+  bits : (string, int ref) Hashtbl.t;
+  mutable sends : int;
+  mutable deliveries : int;
+  mutable total_bits : int;
+  mutable max_state_bits : int;
+  mutable max_msg_bits : int;
+}
+
+let create () =
+  {
+    counts = Hashtbl.create 8;
+    bits = Hashtbl.create 8;
+    sends = 0;
+    deliveries = 0;
+    total_bits = 0;
+    max_state_bits = 0;
+    max_msg_bits = 0;
+  }
+
+let bump tbl key v =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> r := !r + v
+  | None -> Hashtbl.add tbl key (ref v)
+
+let record_send t ~label ~bits =
+  bump t.counts label 1;
+  bump t.bits label bits;
+  t.sends <- t.sends + 1;
+  t.total_bits <- t.total_bits + bits;
+  if bits > t.max_msg_bits then t.max_msg_bits <- bits
+
+let record_delivery t = t.deliveries <- t.deliveries + 1
+
+let record_state_bits t b = if b > t.max_state_bits then t.max_state_bits <- b
+
+let record_msg_peak_bits t b = if b > t.max_msg_bits then t.max_msg_bits <- b
+
+let total_messages t = t.sends
+
+let deliveries t = t.deliveries
+
+let total_bits t = t.total_bits
+
+let sorted tbl =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) tbl [] |> List.sort compare
+
+let messages_by_label t = sorted t.counts
+
+let bits_by_label t = sorted t.bits
+
+let max_state_bits t = t.max_state_bits
+
+let max_msg_bits t = t.max_msg_bits
+
+let reset t =
+  Hashtbl.reset t.counts;
+  Hashtbl.reset t.bits;
+  t.sends <- 0;
+  t.deliveries <- 0;
+  t.total_bits <- 0;
+  t.max_state_bits <- 0;
+  t.max_msg_bits <- 0
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>messages=%d delivered=%d bits=%d state<=%db msg<=%db@," t.sends
+    t.deliveries t.total_bits t.max_state_bits t.max_msg_bits;
+  List.iter (fun (k, v) -> Format.fprintf ppf "  %-10s %d@," k v) (messages_by_label t);
+  Format.fprintf ppf "@]"

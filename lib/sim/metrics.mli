@@ -1,0 +1,35 @@
+(** Run-time accounting: message counts and idealised bit volumes per message
+    family, plus peak state sizes.  Feeds experiments E3, E5 and E8. *)
+
+type t
+
+val create : unit -> t
+
+val record_send : t -> label:string -> bits:int -> unit
+
+val record_delivery : t -> unit
+
+val record_state_bits : t -> int -> unit
+
+val record_msg_peak_bits : t -> int -> unit
+
+val total_messages : t -> int
+
+val deliveries : t -> int
+
+val total_bits : t -> int
+
+val messages_by_label : t -> (string * int) list
+(** Sorted by label. *)
+
+val bits_by_label : t -> (string * int) list
+
+val max_state_bits : t -> int
+(** Peak per-node memory observed, in idealised bits. *)
+
+val max_msg_bits : t -> int
+(** Largest single message observed, in idealised bits. *)
+
+val reset : t -> unit
+
+val pp : Format.formatter -> t -> unit

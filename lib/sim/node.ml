@@ -1,0 +1,58 @@
+(* Node automaton interface: the contract between a distributed protocol and
+   the simulation engine.
+
+   A node is a deterministic state machine driven by two kinds of events:
+
+   - [on_tick]: the periodic local timer.  The paper's "Do forever: send
+     InfoMsg to all neighbours" loop lives here.
+   - [on_message]: receipt of one message from one neighbour.  Together with
+     the sends performed inside the handler this is exactly the paper's
+     send/receive atomicity: an atomic step is one local computation plus
+     the communication operations it triggers.
+
+   Handlers communicate only through [ctx.send], which enqueues onto the
+   FIFO channel towards a neighbour.  Handlers must not retain [ctx] beyond
+   the call. *)
+
+type 'msg ctx = {
+  node : int;  (** dense node index in the topology *)
+  id : int;  (** protocol identifier (unique, totally ordered) *)
+  n : int;  (** network size — metering only; protocol code must not use it *)
+  neighbors : int array;  (** node indices of the one-hop neighbourhood *)
+  neighbor_ids : int array;  (** their protocol identifiers, same order *)
+  send : int -> 'msg -> unit;  (** [send dst msg]; [dst] must be a neighbour *)
+  rng : Mdst_util.Prng.t;  (** node-local deterministic randomness *)
+  now : unit -> float;  (** virtual time, for tracing only *)
+}
+
+module type AUTOMATON = sig
+  type state
+  type msg
+
+  val name : string
+
+  val init : msg ctx -> state
+  (** Clean cold-start state (the "designed" initial configuration). *)
+
+  val random_state : msg ctx -> Mdst_util.Prng.t -> state
+  (** An arbitrary (possibly inconsistent) state: the adversary of the
+      self-stabilization definition.  Must cover the whole reachable state
+      space shape-wise, not just legal values. *)
+
+  val random_msg : msg ctx -> Mdst_util.Prng.t -> msg option
+  (** An arbitrary in-flight message for channel corruption, or [None] if
+      the protocol does not model channel corruption. *)
+
+  val on_tick : msg ctx -> state -> state
+
+  val on_message : msg ctx -> state -> src:int -> msg -> state
+
+  val msg_label : msg -> string
+  (** Coarse message family ("info", "search", ...) for metering. *)
+
+  val msg_bits : n:int -> msg -> int
+  (** Idealised encoded size, per the paper's O(.) accounting. *)
+
+  val state_bits : n:int -> state -> int
+  (** Idealised per-node memory, per the paper's O(.) accounting. *)
+end

@@ -1,0 +1,42 @@
+(** Synchronous lockstep execution of the same {!Node.AUTOMATON}s.
+
+    One synchronous round = every message sent in the previous round is
+    delivered (per-channel FIFO, deterministic node order), then every node
+    takes one tick.  This is the synchronous-daemon model common in
+    self-stabilization proofs; running the identical protocol code under
+    both this engine and the asynchronous {!Engine} is the differential
+    check of experiment E12 — the algorithm may be faster or slower, but
+    its guarantees must be daemon-independent. *)
+
+module Make (A : Node.AUTOMATON) : sig
+  type t
+
+  type init =
+    [ `Clean | `Random | `Custom of A.msg Node.ctx -> Mdst_util.Prng.t -> A.state ]
+
+  val create : ?seed:int -> ?init:init -> Mdst_graph.Graph.t -> t
+
+  val round : t -> unit
+  (** Execute one synchronous round. *)
+
+  type outcome = { converged : bool; rounds : int }
+
+  val run : t -> ?max_rounds:int -> stop:(t -> bool) -> unit -> outcome
+  (** [stop] is evaluated after every round. *)
+
+  val graph : t -> Mdst_graph.Graph.t
+
+  val states : t -> A.state array
+
+  val state : t -> int -> A.state
+
+  val rounds : t -> int
+
+  val metrics : t -> Metrics.t
+
+  val pending_messages : t -> int
+
+  val set_state : t -> int -> A.state -> unit
+
+  val corrupt : t -> ?fraction:float -> unit -> int
+end

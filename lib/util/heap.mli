@@ -1,0 +1,27 @@
+(** Mutable binary min-heap with user-supplied priorities.
+
+    The discrete-event simulator stores pending events here keyed by virtual
+    time; ties are broken by insertion order so that executions are
+    deterministic for a fixed seed. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> prio:float -> 'a -> unit
+(** Amortised O(log n). *)
+
+val pop : 'a t -> (float * 'a) option
+(** Removes and returns the entry with the smallest priority (FIFO among
+    equal priorities). O(log n). *)
+
+val peek : 'a t -> (float * 'a) option
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> (float * 'a) list
+(** Snapshot in arbitrary heap order; used by tests and fault injection. *)

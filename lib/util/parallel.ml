@@ -1,0 +1,32 @@
+let default_domains () = max 1 (Domain.recommended_domain_count () - 1)
+
+type 'b cell = Pending | Ok of 'b | Err of exn
+
+let map ?domains f xs =
+  let domains = match domains with Some d -> max 1 d | None -> default_domains () in
+  let tasks = Array.of_list xs in
+  let n = Array.length tasks in
+  if n = 0 then []
+  else if domains = 1 || n = 1 then List.map f xs
+  else begin
+    let results = Array.make n Pending in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (results.(i) <- (try Ok (f tasks.(i)) with e -> Err e));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned = List.init (min domains n - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned;
+    Array.to_list results
+    |> List.map (function
+         | Ok v -> v
+         | Err e -> raise e
+         | Pending -> assert false)
+  end

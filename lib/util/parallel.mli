@@ -1,0 +1,16 @@
+(** Fixed-pool parallel map over OCaml 5 domains.
+
+    Experiment sweeps run many independent, deterministically seeded
+    simulations; this spreads them across cores without any shared mutable
+    state (each task builds its own engine and PRNG, results are collected
+    by index).  Order of results matches the input order, so determinism of
+    the reported tables is preserved. *)
+
+val default_domains : unit -> int
+(** [max 1 (recommended_domain_count () - 1)]. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map f xs] applies [f] to every element, running up to [domains]
+    (default {!default_domains}) evaluations concurrently.  Exceptions
+    raised by [f] are re-raised in the caller after all workers finish.
+    With [domains = 1] (or a single-element list) no domain is spawned. *)

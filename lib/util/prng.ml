@@ -1,0 +1,85 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let copy t = { state = t.state }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let s = bits64 t in
+  { state = mix64 s }
+
+(* Non-negative 62-bit int from the top bits, fitting OCaml's native int. *)
+let bits t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let mask_bound = bound - 1 in
+  if bound land mask_bound = 0 then bits t land mask_bound
+  else
+    let rec draw () =
+      let r = bits t in
+      let v = r mod bound in
+      if r - v > max_int - bound + 1 then draw () else v
+    in
+    draw ()
+
+let int_in t lo hi =
+  if lo > hi then invalid_arg "Prng.int_in: lo > hi";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  bound *. (r /. 9007199254740992.0 (* 2^53 *))
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let bernoulli t p = float t 1.0 < p
+
+let exponential t rate =
+  if rate <= 0.0 then invalid_arg "Prng.exponential: rate must be positive";
+  let u = 1.0 -. float t 1.0 in
+  -.log u /. rate
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Prng.choose: empty array";
+  a.(int t (Array.length a))
+
+let sample_without_replacement t k n =
+  if k < 0 || k > n then invalid_arg "Prng.sample_without_replacement";
+  (* Floyd's algorithm: O(k) expected insertions. *)
+  let module IS = Set.Make (Int) in
+  let s = ref IS.empty in
+  for j = n - k to n - 1 do
+    let v = int t (j + 1) in
+    if IS.mem v !s then s := IS.add j !s else s := IS.add v !s
+  done;
+  IS.elements !s
+
+let seed_of_string str =
+  let h = ref (0xcbf29ce484222325L |> Int64.to_int) in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x100000001b3 land max_int)
+    str;
+  !h

@@ -1,0 +1,15 @@
+(* Idealised bit-size accounting used by the memory/message metering of
+   experiment E5.  We charge the information-theoretic cost the paper's
+   complexity analysis uses: an identifier or distance in a network of n
+   nodes costs ceil(log2 n) bits, a boolean 1 bit, a list the sum of its
+   elements plus a length field. *)
+
+let bits_for_card n = if n <= 1 then 1 else int_of_float (ceil (log (float_of_int n) /. log 2.0))
+
+let id_bits ~n = bits_for_card n
+
+let int_bits v = if v <= 1 then 1 else bits_for_card (v + 1)
+
+let bool_bits = 1
+
+let list_bits ~n element_bits count = bits_for_card (n + 1) + (element_bits * count)

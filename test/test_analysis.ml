@@ -1,0 +1,228 @@
+(* Tests for the analysis layer: statistics, table rendering, workloads and
+   the experiment registry. *)
+
+module Stats = Mdst_analysis.Stats
+module Table = Mdst_analysis.Table
+module Workloads = Mdst_analysis.Workloads
+module Registry = Mdst_analysis.Registry
+
+let check = Alcotest.(check bool)
+
+let feq = Alcotest.(check (float 1e-9))
+
+(* ---------------- Stats ---------------- *)
+
+let test_mean_median () =
+  feq "mean" 2.5 (Stats.mean [ 1.0; 2.0; 3.0; 4.0 ]);
+  feq "median even" 2.5 (Stats.median [ 1.0; 2.0; 3.0; 4.0 ]);
+  feq "median odd" 3.0 (Stats.median [ 5.0; 1.0; 3.0 ]);
+  feq "median singleton" 7.0 (Stats.median [ 7.0 ])
+
+let test_empty_rejected () =
+  Alcotest.check_raises "mean empty" (Invalid_argument "Stats.mean: empty list") (fun () ->
+      ignore (Stats.mean []))
+
+let test_percentile () =
+  let xs = Stats.of_ints [ 10; 20; 30; 40; 50 ] in
+  feq "p0" 10.0 (Stats.percentile 0.0 xs);
+  feq "p100" 50.0 (Stats.percentile 100.0 xs);
+  feq "p50" 30.0 (Stats.percentile 50.0 xs);
+  feq "p25 interpolates" 20.0 (Stats.percentile 25.0 xs)
+
+let test_stddev () =
+  feq "constant" 0.0 (Stats.stddev [ 4.0; 4.0; 4.0 ]);
+  feq "known" 1.0 (Stats.stddev [ 1.0; 2.0; 3.0 ]);
+  feq "singleton" 0.0 (Stats.stddev [ 9.0 ])
+
+let test_minmax () =
+  feq "min" 1.0 (Stats.minimum [ 3.0; 1.0; 2.0 ]);
+  feq "max" 3.0 (Stats.maximum [ 3.0; 1.0; 2.0 ])
+
+let test_ci () =
+  let m, hw = Stats.mean_ci95 [ 10.0; 10.0; 10.0; 10.0 ] in
+  feq "ci mean" 10.0 m;
+  feq "ci width zero for constants" 0.0 hw
+
+let test_linear_fit () =
+  let slope, intercept = Stats.linear_fit [ (0.0, 1.0); (1.0, 3.0); (2.0, 5.0) ] in
+  feq "slope" 2.0 slope;
+  feq "intercept" 1.0 intercept
+
+let test_loglog_slope () =
+  (* y = x^2 exactly. *)
+  let pts = List.map (fun x -> (x, x *. x)) [ 1.0; 2.0; 4.0; 8.0 ] in
+  feq "quadratic slope" 2.0 (Stats.loglog_slope pts)
+
+let test_loglog_drops_nonpositive () =
+  let pts = [ (0.0, 5.0); (1.0, 2.0); (2.0, 4.0); (4.0, 8.0) ] in
+  feq "ignores x=0 point" 1.0 (Stats.loglog_slope pts)
+
+(* ---------------- Table ---------------- *)
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_table_render () =
+  let t = Table.make ~title:"demo" ~columns:[ "a"; "bb" ] in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_row t [ "333"; "4" ];
+  Table.add_note t "a note";
+  let s = Table.render t in
+  check "title" true (contains s "== demo ==");
+  check "cell" true (contains s "333");
+  check "note" true (contains s "note: a note")
+
+let test_table_arity () =
+  let t = Table.make ~title:"demo" ~columns:[ "a"; "b" ] in
+  check "wrong arity raises" true
+    (try
+       Table.add_row t [ "1" ];
+       false
+     with Invalid_argument _ -> true)
+
+let test_table_csv () =
+  let t = Table.make ~title:"demo" ~columns:[ "a"; "b" ] in
+  Table.add_row t [ "x,y"; "plain" ];
+  let csv = Table.to_csv t in
+  check "header" true (contains csv "a,b");
+  check "escaped comma" true (contains csv "\"x,y\"")
+
+let test_cells () =
+  Alcotest.(check string) "int" "42" (Table.cell_int 42);
+  Alcotest.(check string) "float" "3.14" (Table.cell_float ~decimals:2 3.14159);
+  Alcotest.(check string) "bool" "yes" (Table.cell_bool true);
+  Alcotest.(check string) "opt none" "-" (Table.cell_opt Table.cell_int None);
+  Alcotest.(check string) "opt some" "7" (Table.cell_opt Table.cell_int (Some 7))
+
+(* ---------------- Workloads ---------------- *)
+
+let test_workloads_build_connected () =
+  List.iter
+    (fun name ->
+      let w = Workloads.find name in
+      let g = w.build 1 in
+      check (name ^ " connected") true (Mdst_graph.Algo.is_connected g))
+    Workloads.names
+
+let test_workloads_deterministic () =
+  let w = Workloads.find "er-16" in
+  check "same seed same graph" true (Mdst_graph.Graph.equal (w.build 3) (w.build 3))
+
+let test_er_with () =
+  let g = Workloads.er_with ~n:20 ~avg_deg:4.0 1 in
+  check "connected" true (Mdst_graph.Algo.is_connected g);
+  Alcotest.(check int) "n" 20 (Mdst_graph.Graph.n g)
+
+let test_workloads_unknown () =
+  check "unknown raises" true
+    (try
+       ignore (Workloads.find "nope");
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------- Registry ---------------- *)
+
+let test_registry_ids () =
+  Alcotest.(check (list string))
+    "all experiments present"
+    [ "E1"; "E2"; "E3"; "E4"; "E5"; "E6"; "E7"; "E8"; "E9"; "E10"; "E11"; "E12"; "E13"; "E14"; "E15"; "E16"; "E17" ]
+    Registry.ids
+
+let test_registry_find () =
+  let e = Registry.find "e9" in
+  Alcotest.(check string) "case-insensitive lookup" "E9" e.id;
+  check "unknown raises" true
+    (try
+       ignore (Registry.find "E99");
+       false
+     with Invalid_argument _ -> true)
+
+let test_fig5_experiment_passes () =
+  (* E9 is cheap and fully assertive: every check row must end in "yes". *)
+  let e = Registry.find "E9" in
+  let tables = e.run ~quick:true () in
+  List.iter
+    (fun t ->
+      let rendered = Table.render t in
+      check "no failing check" false (contains rendered "| no ")
+      )
+    tables
+
+let test_exp_common_delta_star () =
+  let g = Mdst_graph.Gen.ring 8 in
+  match Mdst_analysis.Exp_common.delta_star g with
+  | Mdst_analysis.Exp_common.Exact_opt 2 -> ()
+  | _ -> Alcotest.fail "ring Delta* must be exactly 2"
+
+let test_all_experiments_quick_smoke () =
+  (* Every experiment must run in quick mode and produce non-empty,
+     renderable tables — the CI guard for the whole analysis layer. *)
+  List.iter
+    (fun (e : Registry.entry) ->
+      let tables = e.run ~quick:true () in
+      check (e.id ^ " produces tables") true (tables <> []);
+      List.iter
+        (fun t -> check (e.id ^ " renders") true (String.length (Table.render t) > 40))
+        tables)
+    Registry.all
+
+let test_save_csvs () =
+  (* Use the cheapest experiment only, via a one-entry registry slice
+     written to a temp dir through the real CSV writer. *)
+  let dir = Filename.temp_file "mdst" "" in
+  Sys.remove dir;
+  let e = Registry.find "E9" in
+  let tables = e.run ~quick:true () in
+  Sys.mkdir dir 0o755;
+  List.iteri
+    (fun i t ->
+      let path = Filename.concat dir (Printf.sprintf "e9-%d.csv" i) in
+      let oc = open_out path in
+      output_string oc (Table.to_csv t);
+      close_out oc;
+      check "csv file non-empty" true (Sys.file_exists path))
+    tables;
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "stats",
+        [
+          Alcotest.test_case "mean/median" `Quick test_mean_median;
+          Alcotest.test_case "empty rejected" `Quick test_empty_rejected;
+          Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "stddev" `Quick test_stddev;
+          Alcotest.test_case "min/max" `Quick test_minmax;
+          Alcotest.test_case "ci95" `Quick test_ci;
+          Alcotest.test_case "linear fit" `Quick test_linear_fit;
+          Alcotest.test_case "loglog slope" `Quick test_loglog_slope;
+          Alcotest.test_case "loglog drops nonpositive" `Quick test_loglog_drops_nonpositive;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "arity" `Quick test_table_arity;
+          Alcotest.test_case "csv" `Quick test_table_csv;
+          Alcotest.test_case "cells" `Quick test_cells;
+        ] );
+      ( "workloads",
+        [
+          Alcotest.test_case "all connected" `Slow test_workloads_build_connected;
+          Alcotest.test_case "deterministic" `Quick test_workloads_deterministic;
+          Alcotest.test_case "er_with" `Quick test_er_with;
+          Alcotest.test_case "unknown raises" `Quick test_workloads_unknown;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "ids" `Quick test_registry_ids;
+          Alcotest.test_case "find" `Quick test_registry_find;
+          Alcotest.test_case "E9 passes" `Slow test_fig5_experiment_passes;
+          Alcotest.test_case "delta_star helper" `Quick test_exp_common_delta_star;
+          Alcotest.test_case "all experiments quick smoke" `Slow test_all_experiments_quick_smoke;
+          Alcotest.test_case "csv export" `Quick test_save_csvs;
+        ] );
+    ]

@@ -1,0 +1,576 @@
+(* Tests for the graph substrate: construction, generators, trees,
+   fundamental cycles, Prüfer coding, classical algorithms. *)
+
+module Graph = Mdst_graph.Graph
+module Gen = Mdst_graph.Gen
+module Tree = Mdst_graph.Tree
+module Algo = Mdst_graph.Algo
+module Prufer = Mdst_graph.Prufer
+module Union_find = Mdst_graph.Union_find
+module Prng = Mdst_util.Prng
+
+let check = Alcotest.(check bool)
+
+let rng () = Prng.create 71
+
+(* ---------------- Graph ---------------- *)
+
+let test_graph_basic () =
+  let g = Graph.of_edges ~n:4 [ (0, 1); (1, 2); (2, 3); (3, 0) ] in
+  Alcotest.(check int) "n" 4 (Graph.n g);
+  Alcotest.(check int) "m" 4 (Graph.m g);
+  check "mem" true (Graph.mem_edge g 0 1);
+  check "mem sym" true (Graph.mem_edge g 1 0);
+  check "not mem" false (Graph.mem_edge g 0 2);
+  check "no self edge" false (Graph.mem_edge g 1 1);
+  Alcotest.(check int) "degree" 2 (Graph.degree g 0)
+
+let test_graph_dedup () =
+  let g = Graph.of_edges ~n:3 [ (0, 1); (1, 0); (0, 1) ] in
+  Alcotest.(check int) "duplicates collapsed" 1 (Graph.m g)
+
+let test_graph_rejects () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph: self-loop") (fun () ->
+      ignore (Graph.of_edges ~n:3 [ (1, 1) ]));
+  Alcotest.check_raises "out of range" (Invalid_argument "Graph: endpoint out of range")
+    (fun () -> ignore (Graph.of_edges ~n:3 [ (0, 5) ]));
+  Alcotest.check_raises "dup ids" (Invalid_argument "Graph: duplicate identifier") (fun () ->
+      ignore (Graph.of_edges ~ids:[| 1; 1; 2 |] ~n:3 []))
+
+let test_graph_ids () =
+  let g = Graph.of_edges ~ids:[| 30; 10; 20 |] ~n:3 [ (0, 1); (1, 2) ] in
+  Alcotest.(check int) "id" 30 (Graph.id g 0);
+  Alcotest.(check int) "index_of_id" 1 (Graph.index_of_id g 10);
+  Alcotest.(check int) "min id node" 1 (Graph.min_id_node g);
+  let g2 = Graph.relabel_ids g [| 5; 6; 7 |] in
+  Alcotest.(check int) "relabel" 0 (Graph.min_id_node g2);
+  check "relabel keeps edges" true (Graph.mem_edge g2 0 1)
+
+let test_degree_sum () =
+  let g = Gen.erdos_renyi_connected (rng ()) ~n:20 ~p:0.3 in
+  let sum = ref 0 in
+  Graph.iter_nodes g (fun v -> sum := !sum + Graph.degree g v);
+  Alcotest.(check int) "handshake lemma" (2 * Graph.m g) !sum
+
+let test_non_edges () =
+  let g = Gen.ring 5 in
+  let ne = Graph.non_edges g in
+  Alcotest.(check int) "count" (10 - 5) (List.length ne);
+  check "disjoint from edges" true
+    (List.for_all (fun (u, v) -> not (Graph.mem_edge g u v)) ne)
+
+let test_complete () =
+  let g = Graph.complete 6 in
+  Alcotest.(check int) "m" 15 (Graph.m g);
+  Alcotest.(check int) "max degree" 5 (Graph.max_degree g);
+  Alcotest.(check int) "min degree" 5 (Graph.min_degree g)
+
+(* ---------------- Union-find ---------------- *)
+
+let test_union_find () =
+  let uf = Union_find.create 5 in
+  Alcotest.(check int) "initial sets" 5 (Union_find.count uf);
+  check "union" true (Union_find.union uf 0 1);
+  check "redundant union" false (Union_find.union uf 1 0);
+  check "same" true (Union_find.same uf 0 1);
+  check "not same" false (Union_find.same uf 0 2);
+  let snapshot = Union_find.copy uf in
+  ignore (Union_find.union uf 2 3);
+  check "copy unaffected" false (Union_find.same snapshot 2 3);
+  Alcotest.(check int) "count after unions" 3 (Union_find.count uf)
+
+(* ---------------- Generators ---------------- *)
+
+let connected_families =
+  [
+    ("path", fun () -> Gen.path 9);
+    ("ring", fun () -> Gen.ring 9);
+    ("star", fun () -> Gen.star 9);
+    ("wheel", fun () -> Gen.wheel 9);
+    ("grid", fun () -> Gen.grid ~rows:3 ~cols:4);
+    ("torus", fun () -> Gen.torus ~rows:3 ~cols:4);
+    ("hypercube", fun () -> Gen.hypercube 4);
+    ("petersen", fun () -> Gen.petersen ());
+    ("lollipop", fun () -> Gen.lollipop ~clique:5 ~tail:4);
+    ("caterpillar", fun () -> Gen.caterpillar ~spine:4 ~legs:2);
+    ("star-of-cliques", fun () -> Gen.star_of_cliques ~cliques:3 ~clique_size:4);
+    ("bintree-chords", fun () -> Gen.binary_tree_with_chords ~depth:3);
+    ("k-bipartite", fun () -> Gen.complete_bipartite 3 4);
+    ("er-connected", fun () -> Gen.erdos_renyi_connected (rng ()) ~n:15 ~p:0.2);
+    ("random-connected", fun () -> Gen.random_connected (rng ()) ~n:15 ~m:25);
+    ("ba", fun () -> Gen.barabasi_albert (rng ()) ~n:15 ~k:2);
+    ("geometric", fun () -> Gen.random_geometric_connected (rng ()) ~n:15 ~radius:0.3);
+    ("regular", fun () -> Gen.random_regular (rng ()) ~n:12 ~d:3);
+  ]
+
+let test_families_connected () =
+  List.iter
+    (fun (name, build) -> check (name ^ " connected") true (Algo.is_connected (build ())))
+    connected_families
+
+let test_gen_shapes () =
+  Alcotest.(check int) "path edges" 8 (Graph.m (Gen.path 9));
+  Alcotest.(check int) "ring edges" 9 (Graph.m (Gen.ring 9));
+  Alcotest.(check int) "star max degree" 8 (Graph.max_degree (Gen.star 9));
+  Alcotest.(check int) "wheel hub" 8 (Graph.degree (Gen.wheel 9) 0);
+  Alcotest.(check int) "hypercube degree" 4 (Graph.max_degree (Gen.hypercube 4));
+  Alcotest.(check int) "torus regular" 4 (Graph.min_degree (Gen.torus ~rows:3 ~cols:4));
+  Alcotest.(check int) "petersen cubic" 3 (Graph.max_degree (Gen.petersen ()));
+  Alcotest.(check int) "petersen n" 10 (Graph.n (Gen.petersen ()))
+
+let test_random_connected_m () =
+  let g = Gen.random_connected (rng ()) ~n:12 ~m:20 in
+  Alcotest.(check int) "exact edge count" 20 (Graph.m g)
+
+let test_random_regular_degrees () =
+  let g = Gen.random_regular (rng ()) ~n:14 ~d:3 in
+  Graph.iter_nodes g (fun v -> Alcotest.(check int) "regular degree" 3 (Graph.degree g v))
+
+let test_caterpillar_structure () =
+  let g = Gen.caterpillar ~spine:3 ~legs:2 in
+  Alcotest.(check int) "n" 9 (Graph.n g);
+  Alcotest.(check int) "m = n-1 (a tree)" 8 (Graph.m g);
+  check "tree" true (Algo.is_connected g)
+
+let test_edge_count_formulas () =
+  (* Closed-form edge counts pin down the generators' shapes. *)
+  Alcotest.(check int) "torus 3x4" (2 * 12) (Graph.m (Gen.torus ~rows:3 ~cols:4));
+  Alcotest.(check int) "grid 3x4" ((3 * 3) + (2 * 4)) (Graph.m (Gen.grid ~rows:3 ~cols:4));
+  Alcotest.(check int) "hypercube d=4" (4 * 8) (Graph.m (Gen.hypercube 4));
+  Alcotest.(check int) "wheel 9" (2 * 8) (Graph.m (Gen.wheel 9));
+  Alcotest.(check int) "K_{3,4}" 12 (Graph.m (Gen.complete_bipartite 3 4));
+  Alcotest.(check int) "petersen" 15 (Graph.m (Gen.petersen ()));
+  (* lollipop: clique + tail path *)
+  Alcotest.(check int) "lollipop 5+3" ((5 * 4 / 2) + 3) (Graph.m (Gen.lollipop ~clique:5 ~tail:3));
+  (* star-of-cliques: c cliques + c hub spokes + c outer-cycle edges *)
+  Alcotest.(check int) "star-of-cliques 3x4" ((3 * 6) + 3 + 3)
+    (Graph.m (Gen.star_of_cliques ~cliques:3 ~clique_size:4));
+  (* binary tree with chords: (n-1) tree edges + (leaves - 1) chords *)
+  Alcotest.(check int) "bintree-chords d=3" (14 + 7) (Graph.m (Gen.binary_tree_with_chords ~depth:3))
+
+let test_generator_rejections () =
+  let rejects f = try ignore (f ()); false with Invalid_argument _ -> true in
+  check "ring 2" true (rejects (fun () -> Gen.ring 2));
+  check "wheel 3" true (rejects (fun () -> Gen.wheel 3));
+  check "torus 2x5" true (rejects (fun () -> Gen.torus ~rows:2 ~cols:5));
+  check "regular odd nd" true (rejects (fun () -> Gen.random_regular (rng ()) ~n:5 ~d:3));
+  check "regular d>=n" true (rejects (fun () -> Gen.random_regular (rng ()) ~n:4 ~d:4));
+  check "er bad p" true (rejects (fun () -> Gen.erdos_renyi (rng ()) ~n:5 ~p:1.5));
+  check "random_connected m too small" true
+    (rejects (fun () -> Gen.random_connected (rng ()) ~n:6 ~m:3))
+
+let test_known_diameters () =
+  Alcotest.(check int) "hypercube diameter = d" 4 (Algo.diameter (Gen.hypercube 4));
+  Alcotest.(check int) "grid diameter" 5 (Algo.diameter (Gen.grid ~rows:3 ~cols:4));
+  Alcotest.(check int) "petersen diameter" 2 (Algo.diameter (Gen.petersen ()));
+  Alcotest.(check int) "star diameter" 2 (Algo.diameter (Gen.star 9))
+
+let test_deblock_gadget_shape () =
+  let g = Gen.deblock_gadget () in
+  let g', parents = Gen.deblock_gadget_tree g in
+  check "same graph returned" true (Graph.equal g g');
+  let t = Tree.of_parents g ~root:0 parents in
+  Alcotest.(check int) "blocked tree degree" 4 (Tree.max_degree t);
+  Alcotest.(check int) "hub degree" 4 (Tree.degree t 0);
+  Alcotest.(check int) "blocker degree = dmax - 1" 3 (Tree.degree t 5);
+  Alcotest.(check (list (pair int int))) "the two escape edges" [ (1, 5); (6, 7) ]
+    (Tree.non_tree_edges t);
+  (* The gadget's optimum really is 3 (so ablated runs at 4 exceed D*+1 - 1). *)
+  match Mdst_baseline.Exact.solve g with
+  | Some r -> Alcotest.(check int) "gadget Delta*" 3 r.optimum
+  | None -> Alcotest.fail "exact solver must handle n=8"
+
+let prop_bridges_disconnect =
+  QCheck.Test.make ~name:"removing a bridge disconnects the graph" ~count:40
+    QCheck.(pair small_int (int_range 5 14))
+    (fun (seed, n) ->
+      let g = Gen.erdos_renyi_connected (Prng.create seed) ~n ~p:0.18 in
+      List.for_all
+        (fun (u, v) ->
+          let edges =
+            Graph.fold_edges g ~init:[] ~f:(fun acc a b ->
+                if (a, b) = (u, v) then acc else (a, b) :: acc)
+          in
+          not (Algo.is_connected (Graph.of_edges ~n:(Graph.n g) edges)))
+        (Algo.bridges g))
+
+let prop_non_bridges_keep_connected =
+  QCheck.Test.make ~name:"removing a non-bridge keeps the graph connected" ~count:30
+    QCheck.(pair small_int (int_range 5 12))
+    (fun (seed, n) ->
+      let g = Gen.erdos_renyi_connected (Prng.create seed) ~n ~p:0.3 in
+      let bridges = Algo.bridges g in
+      Graph.fold_edges g ~init:true ~f:(fun acc u v ->
+          acc
+          && (List.mem (u, v) bridges
+             ||
+             let edges =
+               Graph.fold_edges g ~init:[] ~f:(fun acc a b ->
+                   if (a, b) = (u, v) then acc else (a, b) :: acc)
+             in
+             Algo.is_connected (Graph.of_edges ~n:(Graph.n g) edges))))
+
+let test_by_name_all () =
+  List.iter
+    (fun name ->
+      let g = Gen.by_name name (rng ()) ~n:12 in
+      check (name ^ " by_name connected") true (Algo.is_connected g))
+    Gen.family_names
+
+let test_by_name_unknown () =
+  check "unknown family raises" true
+    (try
+       ignore (Gen.by_name "nope" (rng ()) ~n:5);
+       false
+     with Invalid_argument _ -> true)
+
+let test_with_random_ids () =
+  let g = Gen.with_random_ids (rng ()) (Gen.ring 10) in
+  let ids = List.init 10 (Graph.id g) in
+  check "ids are a permutation" true (List.sort compare ids = List.init 10 Fun.id)
+
+(* ---------------- Tree ---------------- *)
+
+let sample_tree () =
+  (* 0-1-2-3 path plus chords 0-2, 1-3, 0-3. *)
+  let g = Graph.of_edges ~n:4 [ (0, 1); (1, 2); (2, 3); (0, 2); (1, 3); (0, 3) ] in
+  (g, Tree.of_parents g ~root:0 [| 0; 0; 1; 2 |])
+
+let test_tree_basics () =
+  let _, t = sample_tree () in
+  Alcotest.(check int) "root" 0 (Tree.root t);
+  Alcotest.(check int) "depth 3" 3 (Tree.depth t 3);
+  Alcotest.(check int) "degree mid" 2 (Tree.degree t 1);
+  Alcotest.(check int) "degree leaf" 1 (Tree.degree t 3);
+  Alcotest.(check int) "max degree" 2 (Tree.max_degree t);
+  Alcotest.(check (list int)) "children" [ 2 ] (Tree.children t 1);
+  check "tree edge" true (Tree.is_tree_edge t 1 2);
+  check "non tree edge" false (Tree.is_tree_edge t 0 2);
+  Alcotest.(check (list (pair int int))) "edges" [ (0, 1); (1, 2); (2, 3) ] (Tree.edge_list t);
+  Alcotest.(check (list (pair int int)))
+    "non tree edges" [ (0, 2); (0, 3); (1, 3) ] (Tree.non_tree_edges t)
+
+let test_tree_invalid () =
+  let g = Graph.of_edges ~n:4 [ (0, 1); (1, 2); (2, 3) ] in
+  check "cycle rejected" true
+    (try
+       ignore (Tree.of_parents g ~root:0 [| 0; 2; 1; 2 |]);
+       false
+     with Tree.Invalid _ -> true);
+  check "non-edge parent rejected" true
+    (try
+       ignore (Tree.of_parents g ~root:0 [| 0; 0; 0; 2 |]);
+       false
+     with Tree.Invalid _ -> true);
+  check "bad root rejected" true
+    (try
+       ignore (Tree.of_parents g ~root:0 [| 1; 0; 1; 2 |]);
+       false
+     with Tree.Invalid _ -> true)
+
+let test_fundamental_cycle () =
+  let _, t = sample_tree () in
+  Alcotest.(check (list int)) "cycle 0-2" [ 0; 1; 2 ] (Tree.fundamental_cycle t (0, 2));
+  Alcotest.(check (list int)) "cycle 0-3" [ 0; 1; 2; 3 ] (Tree.fundamental_cycle t (0, 3));
+  Alcotest.(check (list int)) "cycle 1-3" [ 1; 2; 3 ] (Tree.fundamental_cycle t (1, 3));
+  check "tree edge rejected" true
+    (try
+       ignore (Tree.fundamental_cycle t (0, 1));
+       false
+     with Tree.Invalid _ -> true)
+
+let test_swap () =
+  let _, t = sample_tree () in
+  let t' = Tree.swap t ~remove:(1, 2) ~add:(0, 2) in
+  check "new edge in" true (Tree.is_tree_edge t' 0 2);
+  check "old edge out" false (Tree.is_tree_edge t' 1 2);
+  Alcotest.(check int) "still spanning" 3 (List.length (Tree.edge_list t'));
+  check "swap off-cycle rejected" true
+    (try
+       ignore (Tree.swap t ~remove:(2, 3) ~add:(0, 2));
+       false
+     with Tree.Invalid _ -> true)
+
+let test_in_subtree () =
+  let _, t = sample_tree () in
+  check "3 under 1" true (Tree.in_subtree t ~root:1 3);
+  check "1 not under 2" false (Tree.in_subtree t ~root:2 1);
+  check "root covers all" true (Tree.in_subtree t ~root:0 3)
+
+let test_degree_histogram () =
+  let _, t = sample_tree () in
+  Alcotest.(check (array int)) "histogram" [| 0; 2; 2 |] (Tree.degree_histogram t)
+
+let test_of_edge_list_roundtrip () =
+  let g, t = sample_tree () in
+  let t' = Tree.of_edge_list g ~root:0 (Tree.edge_list t) in
+  check "same edges" true (Tree.equal_edges t t')
+
+let prop_random_tree_is_spanning =
+  QCheck.Test.make ~name:"wilson random spanning tree is valid" ~count:60
+    QCheck.(pair small_int (int_range 4 24))
+    (fun (seed, n) ->
+      let rng = Prng.create seed in
+      let g = Gen.erdos_renyi_connected rng ~n ~p:0.3 in
+      let t = Algo.random_spanning_tree rng g ~root:0 in
+      List.length (Tree.edge_list t) = n - 1)
+
+let prop_fundamental_cycle_valid =
+  QCheck.Test.make ~name:"fundamental cycle: tree path joining the non-tree edge" ~count:60
+    QCheck.(pair small_int (int_range 5 20))
+    (fun (seed, n) ->
+      let rng = Prng.create seed in
+      let g = Gen.erdos_renyi_connected rng ~n ~p:0.35 in
+      let t = Algo.bfs_tree g ~root:0 in
+      List.for_all
+        (fun (u, v) ->
+          let c = Tree.fundamental_cycle t (u, v) in
+          let rec consecutive_tree_edges = function
+            | a :: (b :: _ as rest) -> Tree.is_tree_edge t a b && consecutive_tree_edges rest
+            | _ -> true
+          in
+          List.hd c = u
+          && List.hd (List.rev c) = v
+          && List.length (List.sort_uniq compare c) = List.length c
+          && consecutive_tree_edges c)
+        (Tree.non_tree_edges t))
+
+let prop_swap_keeps_spanning =
+  QCheck.Test.make ~name:"swapping along a fundamental cycle keeps a spanning tree" ~count:60
+    QCheck.(pair small_int (int_range 5 16))
+    (fun (seed, n) ->
+      let rng = Prng.create seed in
+      let g = Gen.erdos_renyi_connected rng ~n ~p:0.35 in
+      let t = Algo.bfs_tree g ~root:0 in
+      match Tree.non_tree_edges t with
+      | [] -> true
+      | (u, v) :: _ -> (
+          let c = Tree.fundamental_cycle t (u, v) in
+          match c with
+          | a :: b :: _ ->
+              let t' = Tree.swap t ~remove:(a, b) ~add:(u, v) in
+              List.length (Tree.edge_list t') = n - 1 && Tree.is_tree_edge t' u v
+          | _ -> true))
+
+(* ---------------- Prüfer ---------------- *)
+
+let test_prufer_known () =
+  (* The star 0-{1,2,3} has sequence [0; 0]. *)
+  let seq = Prufer.encode ~n:4 [ (0, 1); (0, 2); (0, 3) ] in
+  Alcotest.(check (array int)) "star sequence" [| 0; 0 |] seq;
+  let edges = Prufer.decode ~n:4 [| 0; 0 |] in
+  Alcotest.(check int) "decoded edges" 3 (List.length edges)
+
+let prop_prufer_roundtrip =
+  QCheck.Test.make ~name:"prufer decode . encode = id (as edge sets)" ~count:150
+    QCheck.(pair small_int (int_range 3 30))
+    (fun (seed, n) ->
+      let edges = Prufer.random_tree (Prng.create seed) ~n in
+      let seq = Prufer.encode ~n edges in
+      let edges' = Prufer.decode ~n seq in
+      List.sort compare (List.map (fun (a, b) -> (min a b, max a b)) edges)
+      = List.sort compare edges')
+
+let prop_prufer_random_tree_spans =
+  QCheck.Test.make ~name:"prufer random tree is a tree" ~count:100
+    QCheck.(pair small_int (int_range 2 40))
+    (fun (seed, n) ->
+      let edges = Prufer.random_tree (Prng.create seed) ~n in
+      let uf = Union_find.create n in
+      List.length edges = n - 1
+      && List.for_all (fun (u, v) -> Union_find.union uf u v) edges)
+
+(* ---------------- Algo ---------------- *)
+
+let test_bfs_distances () =
+  let g = Gen.ring 8 in
+  let d = Algo.bfs_distances g ~src:0 in
+  Alcotest.(check int) "opposite point" 4 d.(4);
+  Alcotest.(check int) "adjacent" 1 d.(1)
+
+let test_components () =
+  let g = Graph.of_edges ~n:5 [ (0, 1); (2, 3) ] in
+  Alcotest.(check int) "three components" 3 (Algo.component_count g);
+  check "disconnected" false (Algo.is_connected g)
+
+let test_bfs_dfs_trees () =
+  let g = Gen.grid ~rows:3 ~cols:3 in
+  let b = Algo.bfs_tree g ~root:0 and d = Algo.dfs_tree g ~root:0 in
+  Alcotest.(check int) "bfs spans" 8 (List.length (Tree.edge_list b));
+  Alcotest.(check int) "dfs spans" 8 (List.length (Tree.edge_list d));
+  check "dfs depth >= bfs depth" true
+    (List.fold_left (fun acc v -> max acc (Tree.depth d v)) 0 (List.init 9 Fun.id)
+    >= List.fold_left (fun acc v -> max acc (Tree.depth b v)) 0 (List.init 9 Fun.id));
+  Alcotest.(check int) "dfs of 3x3 grid snakes (degree 2)" 2 (Tree.max_degree d)
+
+let test_bridges () =
+  Alcotest.(check (list (pair int int))) "ring has no bridges" [] (Algo.bridges (Gen.ring 6));
+  Alcotest.(check int) "path all bridges" 5 (List.length (Algo.bridges (Gen.path 6)));
+  let lolli = Gen.lollipop ~clique:4 ~tail:3 in
+  Alcotest.(check int) "lollipop tail bridges" 3 (List.length (Algo.bridges lolli))
+
+let test_diameter () =
+  Alcotest.(check int) "ring 8" 4 (Algo.diameter (Gen.ring 8));
+  Alcotest.(check int) "path 6" 5 (Algo.diameter (Gen.path 6));
+  Alcotest.(check int) "complete" 1 (Algo.diameter (Graph.complete 5));
+  Alcotest.(check int) "disconnected" (-1) (Algo.diameter (Graph.of_edges ~n:3 [ (0, 1) ]))
+
+(* ---------------- Dot ---------------- *)
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_dot_output () =
+  let g, t = sample_tree () in
+  let s = Mdst_graph.Dot.graph_to_string g in
+  check "graph dot mentions edge" true (contains s "0 -- 1");
+  let st = Mdst_graph.Dot.tree_to_string t in
+  check "tree dot has dotted non-tree edge" true (contains st "style=dotted");
+  check "tree dot highlights" true (contains st "fillcolor")
+
+(* ---------------- Io ---------------- *)
+
+let test_io_roundtrip () =
+  let g = Gen.with_random_ids (rng ()) (Gen.grid ~rows:3 ~cols:4) in
+  let g' = Mdst_graph.Io.of_string (Mdst_graph.Io.to_string g) in
+  check "roundtrip equal" true (Graph.equal g g')
+
+let test_io_default_ids_omitted () =
+  let g = Gen.ring 5 in
+  let s = Mdst_graph.Io.to_string g in
+  check "no ids line for default ids" false (contains s "ids");
+  check "roundtrip" true (Graph.equal g (Mdst_graph.Io.of_string s))
+
+let test_io_parses_comments () =
+  let g = Mdst_graph.Io.of_string "# a comment\nn 3\n0 1\n\n1 2\n" in
+  Alcotest.(check int) "n" 3 (Graph.n g);
+  Alcotest.(check int) "m" 2 (Graph.m g)
+
+let test_io_rejects_malformed () =
+  let rejects s =
+    try
+      ignore (Mdst_graph.Io.of_string s);
+      false
+    with Invalid_argument _ -> true
+  in
+  check "missing header" true (rejects "0 1\n");
+  check "bad edge" true (rejects "n 3\n0 x\n");
+  check "junk line" true (rejects "n 3\nhello world extra\n")
+
+let test_io_file_roundtrip () =
+  let g = Gen.petersen () in
+  let path = Filename.temp_file "mdst" ".graph" in
+  Mdst_graph.Io.save path g;
+  let g' = Mdst_graph.Io.load path in
+  Sys.remove path;
+  check "file roundtrip" true (Graph.equal g g')
+
+(* ---------------- Props ---------------- *)
+
+let feq = Alcotest.(check (float 1e-9))
+
+let test_props_known_values () =
+  let k4 = Graph.complete 4 in
+  feq "K4 density" 1.0 (Mdst_graph.Props.density k4);
+  Alcotest.(check int) "K4 triangles" 4 (Mdst_graph.Props.triangle_count k4);
+  feq "K4 clustering" 1.0 (Mdst_graph.Props.global_clustering k4);
+  feq "K4 local clustering" 1.0 (Mdst_graph.Props.average_local_clustering k4);
+  let ring = Gen.ring 6 in
+  Alcotest.(check int) "ring triangles" 0 (Mdst_graph.Props.triangle_count ring);
+  feq "ring clustering" 0.0 (Mdst_graph.Props.global_clustering ring);
+  feq "ring avg degree" 2.0 (Mdst_graph.Props.average_degree ring)
+
+let test_props_histogram () =
+  let star = Gen.star 5 in
+  Alcotest.(check (array int)) "star histogram" [| 0; 4; 0; 0; 1 |]
+    (Mdst_graph.Props.degree_histogram star)
+
+let test_props_assortativity_sign () =
+  (* Stars are maximally disassortative; a ring has constant degrees. *)
+  check "star negative" true (Mdst_graph.Props.degree_assortativity (Gen.star 8) < -0.9);
+  feq "ring undefined -> 0" 0.0 (Mdst_graph.Props.degree_assortativity (Gen.ring 8))
+
+let test_props_summary_keys () =
+  let s = Mdst_graph.Props.summary (Gen.ring 5) in
+  List.iter
+    (fun key -> check ("summary has " ^ key) true (List.mem_assoc key s))
+    [ "nodes"; "edges"; "density"; "connected"; "diameter"; "degree assortativity" ]
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "graph"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "basic" `Quick test_graph_basic;
+          Alcotest.test_case "dedup" `Quick test_graph_dedup;
+          Alcotest.test_case "rejects invalid" `Quick test_graph_rejects;
+          Alcotest.test_case "identifiers" `Quick test_graph_ids;
+          Alcotest.test_case "degree sum" `Quick test_degree_sum;
+          Alcotest.test_case "non edges" `Quick test_non_edges;
+          Alcotest.test_case "complete" `Quick test_complete;
+        ] );
+      ("union-find", [ Alcotest.test_case "operations" `Quick test_union_find ]);
+      ( "generators",
+        [
+          Alcotest.test_case "all connected" `Quick test_families_connected;
+          Alcotest.test_case "shapes" `Quick test_gen_shapes;
+          Alcotest.test_case "random_connected edge count" `Quick test_random_connected_m;
+          Alcotest.test_case "regular degrees" `Quick test_random_regular_degrees;
+          Alcotest.test_case "caterpillar" `Quick test_caterpillar_structure;
+          Alcotest.test_case "by_name all" `Quick test_by_name_all;
+          Alcotest.test_case "by_name unknown" `Quick test_by_name_unknown;
+          Alcotest.test_case "random ids" `Quick test_with_random_ids;
+          Alcotest.test_case "edge-count formulas" `Quick test_edge_count_formulas;
+          Alcotest.test_case "generator rejections" `Quick test_generator_rejections;
+          Alcotest.test_case "known diameters" `Quick test_known_diameters;
+          Alcotest.test_case "deblock gadget shape" `Quick test_deblock_gadget_shape;
+        ] );
+      ( "tree",
+        [
+          Alcotest.test_case "basics" `Quick test_tree_basics;
+          Alcotest.test_case "invalid rejected" `Quick test_tree_invalid;
+          Alcotest.test_case "fundamental cycle" `Quick test_fundamental_cycle;
+          Alcotest.test_case "swap" `Quick test_swap;
+          Alcotest.test_case "in_subtree" `Quick test_in_subtree;
+          Alcotest.test_case "degree histogram" `Quick test_degree_histogram;
+          Alcotest.test_case "edge list roundtrip" `Quick test_of_edge_list_roundtrip;
+          q prop_random_tree_is_spanning;
+          q prop_fundamental_cycle_valid;
+          q prop_swap_keeps_spanning;
+        ] );
+      ( "prufer",
+        [
+          Alcotest.test_case "known sequence" `Quick test_prufer_known;
+          q prop_prufer_roundtrip;
+          q prop_prufer_random_tree_spans;
+        ] );
+      ( "algo",
+        [
+          Alcotest.test_case "bfs distances" `Quick test_bfs_distances;
+          Alcotest.test_case "components" `Quick test_components;
+          Alcotest.test_case "bfs/dfs trees" `Quick test_bfs_dfs_trees;
+          Alcotest.test_case "bridges" `Quick test_bridges;
+          Alcotest.test_case "diameter" `Quick test_diameter;
+          q prop_bridges_disconnect;
+          q prop_non_bridges_keep_connected;
+        ] );
+      ("dot", [ Alcotest.test_case "output" `Quick test_dot_output ]);
+      ( "io",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_io_roundtrip;
+          Alcotest.test_case "default ids omitted" `Quick test_io_default_ids_omitted;
+          Alcotest.test_case "comments" `Quick test_io_parses_comments;
+          Alcotest.test_case "rejects malformed" `Quick test_io_rejects_malformed;
+          Alcotest.test_case "file roundtrip" `Quick test_io_file_roundtrip;
+        ] );
+      ( "props",
+        [
+          Alcotest.test_case "known values" `Quick test_props_known_values;
+          Alcotest.test_case "histogram" `Quick test_props_histogram;
+          Alcotest.test_case "assortativity sign" `Quick test_props_assortativity_sign;
+          Alcotest.test_case "summary keys" `Quick test_props_summary_keys;
+        ] );
+    ]

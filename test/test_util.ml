@@ -1,0 +1,278 @@
+(* Unit and property tests for the util substrate: PRNG, heap, sizing. *)
+
+module Prng = Mdst_util.Prng
+module Heap = Mdst_util.Heap
+module Sizing = Mdst_util.Sizing
+
+let check = Alcotest.(check bool)
+
+(* ---------------- Prng ---------------- *)
+
+let test_prng_determinism () =
+  let a = Prng.create 7 and b = Prng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_differs_by_seed () =
+  let a = Prng.create 7 and b = Prng.create 8 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.bits64 a = Prng.bits64 b then incr same
+  done;
+  check "streams differ" true (!same < 4)
+
+let test_prng_copy_independent () =
+  let a = Prng.create 3 in
+  let b = Prng.copy a in
+  let x = Prng.bits64 a in
+  let y = Prng.bits64 b in
+  Alcotest.(check int64) "copy starts at same point" x y;
+  ignore (Prng.bits64 a);
+  (* advancing a must not affect b *)
+  let c = Prng.copy b in
+  Alcotest.(check int64) "b unchanged by a" (Prng.bits64 b) (Prng.bits64 c)
+
+let test_prng_split_independent () =
+  let a = Prng.create 11 in
+  let child = Prng.split a in
+  let xs = List.init 32 (fun _ -> Prng.bits64 a) in
+  let ys = List.init 32 (fun _ -> Prng.bits64 child) in
+  check "split streams differ" true (xs <> ys)
+
+let test_int_bounds () =
+  let rng = Prng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Prng.int rng 7 in
+    check "in range" true (v >= 0 && v < 7)
+  done;
+  for _ = 1 to 1000 do
+    let v = Prng.int_in rng (-3) 3 in
+    check "int_in range" true (v >= -3 && v <= 3)
+  done
+
+let test_int_rejects_bad_bounds () =
+  let rng = Prng.create 1 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int rng 0));
+  Alcotest.check_raises "lo > hi" (Invalid_argument "Prng.int_in: lo > hi") (fun () ->
+      ignore (Prng.int_in rng 4 2))
+
+let test_float_bounds () =
+  let rng = Prng.create 9 in
+  for _ = 1 to 1000 do
+    let v = Prng.float rng 2.5 in
+    check "float range" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_bernoulli_extremes () =
+  let rng = Prng.create 2 in
+  for _ = 1 to 100 do
+    check "p=0 never" false (Prng.bernoulli rng 0.0)
+  done;
+  for _ = 1 to 100 do
+    check "p=1 always" true (Prng.bernoulli rng 1.0)
+  done
+
+let test_bernoulli_rate () =
+  let rng = Prng.create 13 in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Prng.bernoulli rng 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  check "rate near 0.3" true (abs_float (rate -. 0.3) < 0.02)
+
+let test_exponential_positive () =
+  let rng = Prng.create 4 in
+  for _ = 1 to 1000 do
+    check "positive" true (Prng.exponential rng 2.0 >= 0.0)
+  done
+
+let test_exponential_mean () =
+  let rng = Prng.create 6 in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Prng.exponential rng 2.0
+  done;
+  let mean = !sum /. float_of_int n in
+  check "mean near 1/rate" true (abs_float (mean -. 0.5) < 0.02)
+
+let prop_shuffle_is_permutation =
+  QCheck.Test.make ~name:"shuffle is a permutation" ~count:200
+    QCheck.(pair small_int (small_list small_int))
+    (fun (seed, xs) ->
+      let a = Array.of_list xs in
+      Prng.shuffle (Prng.create seed) a;
+      List.sort compare (Array.to_list a) = List.sort compare xs)
+
+let prop_sample_without_replacement =
+  QCheck.Test.make ~name:"sample_without_replacement: distinct, sorted, in range" ~count:200
+    QCheck.(pair small_int (pair (int_bound 20) (int_bound 20)))
+    (fun (seed, (a, b)) ->
+      let k = min a b and n = max a b in
+      let s = Prng.sample_without_replacement (Prng.create seed) k n in
+      List.length s = k
+      && List.sort_uniq compare s = s
+      && List.for_all (fun v -> v >= 0 && v < n) s)
+
+let test_seed_of_string_stable () =
+  Alcotest.(check int) "stable" (Prng.seed_of_string "hello") (Prng.seed_of_string "hello");
+  check "different strings differ" true
+    (Prng.seed_of_string "hello" <> Prng.seed_of_string "world")
+
+(* ---------------- Heap ---------------- *)
+
+let test_heap_basic () =
+  let h = Heap.create () in
+  check "empty" true (Heap.is_empty h);
+  Heap.push h ~prio:3.0 "c";
+  Heap.push h ~prio:1.0 "a";
+  Heap.push h ~prio:2.0 "b";
+  Alcotest.(check int) "length" 3 (Heap.length h);
+  Alcotest.(check (option (pair (float 0.0) string))) "peek" (Some (1.0, "a")) (Heap.peek h);
+  Alcotest.(check (option (pair (float 0.0) string))) "pop a" (Some (1.0, "a")) (Heap.pop h);
+  Alcotest.(check (option (pair (float 0.0) string))) "pop b" (Some (2.0, "b")) (Heap.pop h);
+  Alcotest.(check (option (pair (float 0.0) string))) "pop c" (Some (3.0, "c")) (Heap.pop h);
+  Alcotest.(check (option (pair (float 0.0) string))) "pop empty" None (Heap.pop h)
+
+let test_heap_fifo_on_ties () =
+  let h = Heap.create () in
+  List.iter (fun s -> Heap.push h ~prio:1.0 s) [ "first"; "second"; "third" ];
+  let order = List.init 3 (fun _ -> snd (Option.get (Heap.pop h))) in
+  Alcotest.(check (list string)) "insertion order among ties" [ "first"; "second"; "third" ] order
+
+let test_heap_clear () =
+  let h = Heap.create () in
+  Heap.push h ~prio:1.0 1;
+  Heap.clear h;
+  check "cleared" true (Heap.is_empty h)
+
+let test_heap_to_list () =
+  let h = Heap.create () in
+  List.iter (fun p -> Heap.push h ~prio:p p) [ 5.0; 1.0; 3.0 ];
+  let l = Heap.to_list h in
+  Alcotest.(check int) "snapshot size" 3 (List.length l);
+  Alcotest.(check int) "heap unchanged" 3 (Heap.length h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops in nondecreasing priority order" ~count:300
+    QCheck.(small_list (float_bound_inclusive 100.0))
+    (fun prios ->
+      let h = Heap.create () in
+      List.iter (fun p -> Heap.push h ~prio:p p) prios;
+      let rec drain acc = match Heap.pop h with None -> List.rev acc | Some (p, _) -> drain (p :: acc) in
+      let out = drain [] in
+      out = List.sort compare prios)
+
+let prop_heap_grows =
+  QCheck.Test.make ~name:"heap survives growth beyond initial capacity" ~count:50
+    QCheck.(int_range 1 200)
+    (fun n ->
+      let h = Heap.create ~capacity:1 () in
+      for i = n downto 1 do
+        Heap.push h ~prio:(float_of_int i) i
+      done;
+      let rec drain last ok =
+        match Heap.pop h with
+        | None -> ok
+        | Some (p, _) -> drain p (ok && p >= last)
+      in
+      drain neg_infinity true)
+
+(* ---------------- Parallel ---------------- *)
+
+module Parallel = Mdst_util.Parallel
+
+let test_parallel_preserves_order () =
+  let xs = List.init 100 Fun.id in
+  Alcotest.(check (list int)) "order kept" (List.map (fun x -> x * x) xs)
+    (Parallel.map ~domains:4 (fun x -> x * x) xs)
+
+let test_parallel_empty_and_single () =
+  Alcotest.(check (list int)) "empty" [] (Parallel.map ~domains:4 (fun x -> x) []);
+  Alcotest.(check (list int)) "single" [ 42 ] (Parallel.map ~domains:4 (fun x -> x) [ 42 ])
+
+let test_parallel_sequential_equiv () =
+  let xs = List.init 37 (fun i -> i * 3) in
+  let f x = (x * 7) mod 13 in
+  Alcotest.(check (list int)) "domains=1 equals domains=4"
+    (Parallel.map ~domains:1 f xs)
+    (Parallel.map ~domains:4 f xs)
+
+exception Boom
+
+let test_parallel_propagates_exception () =
+  check "exception re-raised" true
+    (try
+       ignore (Parallel.map ~domains:3 (fun x -> if x = 5 then raise Boom else x) (List.init 10 Fun.id));
+       false
+     with Boom -> true)
+
+let test_parallel_real_work () =
+  (* Independent seeded PRNG streams: parallel and sequential must agree. *)
+  let f seed =
+    let rng = Prng.create seed in
+    let acc = ref 0 in
+    for _ = 1 to 1000 do
+      acc := !acc + Prng.int rng 100
+    done;
+    !acc
+  in
+  let seeds = List.init 12 (fun i -> i * 17) in
+  Alcotest.(check (list int)) "deterministic under parallelism"
+    (List.map f seeds)
+    (Parallel.map ~domains:4 f seeds)
+
+(* ---------------- Sizing ---------------- *)
+
+let test_sizing () =
+  Alcotest.(check int) "log2 16" 4 (Sizing.bits_for_card 16);
+  Alcotest.(check int) "log2 17" 5 (Sizing.bits_for_card 17);
+  Alcotest.(check int) "log2 1" 1 (Sizing.bits_for_card 1);
+  Alcotest.(check int) "id bits" 5 (Sizing.id_bits ~n:20);
+  check "list bits grow with count" true
+    (Sizing.list_bits ~n:16 8 10 > Sizing.list_bits ~n:16 8 2)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "determinism" `Quick test_prng_determinism;
+          Alcotest.test_case "seeds differ" `Quick test_prng_differs_by_seed;
+          Alcotest.test_case "copy independent" `Quick test_prng_copy_independent;
+          Alcotest.test_case "split independent" `Quick test_prng_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_int_bounds;
+          Alcotest.test_case "int rejects bad bounds" `Quick test_int_rejects_bad_bounds;
+          Alcotest.test_case "float bounds" `Quick test_float_bounds;
+          Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
+          Alcotest.test_case "bernoulli rate" `Quick test_bernoulli_rate;
+          Alcotest.test_case "exponential positive" `Quick test_exponential_positive;
+          Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+          Alcotest.test_case "seed_of_string stable" `Quick test_seed_of_string_stable;
+          q prop_shuffle_is_permutation;
+          q prop_sample_without_replacement;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "basic order" `Quick test_heap_basic;
+          Alcotest.test_case "fifo on ties" `Quick test_heap_fifo_on_ties;
+          Alcotest.test_case "clear" `Quick test_heap_clear;
+          Alcotest.test_case "to_list snapshot" `Quick test_heap_to_list;
+          q prop_heap_sorts;
+          q prop_heap_grows;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "order preserved" `Quick test_parallel_preserves_order;
+          Alcotest.test_case "empty/single" `Quick test_parallel_empty_and_single;
+          Alcotest.test_case "sequential equivalence" `Quick test_parallel_sequential_equiv;
+          Alcotest.test_case "exception propagation" `Quick test_parallel_propagates_exception;
+          Alcotest.test_case "deterministic real work" `Quick test_parallel_real_work;
+        ] );
+      ("sizing", [ Alcotest.test_case "bit accounting" `Quick test_sizing ]);
+    ]
