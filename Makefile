@@ -1,0 +1,32 @@
+# Convenience wrappers; everything real lives in dune.
+
+DUNE ?= dune
+SIM   = $(DUNE) exec bin/mdst_sim.exe --
+
+.PHONY: all build test pbt pbt-long bench clean
+
+all: build
+
+build:
+	$(DUNE) build @all
+
+# Tier-1: bounded, fixed seeds, must stay fast (CI budget: 60 s).
+test:
+	$(DUNE) build
+	$(DUNE) runtest
+
+# Quick interactive property sweep (same defaults as CI's smoke run).
+pbt: build
+	$(SIM) pbt
+
+# Extended sweep for nightly use: more cases, larger graphs and plans,
+# plus the broken-variant self-check (must be falsified and shrunk).
+pbt-long: build
+	$(SIM) pbt --tests 500 --seed 20090525 --max-nodes 14 --max-events 8
+	$(SIM) pbt --broken --tests 60 --seed 20090525
+
+bench: build
+	$(DUNE) exec bench/main.exe
+
+clean:
+	$(DUNE) clean

@@ -1,0 +1,28 @@
+(* Standalone replay of the pinned convergence-under-adversity cases: the
+   race reproducer from test_check and the fault-matrix triples from
+   test_faults.  Useful when re-deriving the matrix goldens after an
+   engine change: run it and copy the printed numbers. *)
+
+let () =
+  let module C = Mdst_check.Convergence in
+  (* the case that exposed the stop-check / scheduled-fault race *)
+  let r =
+    C.Default.run_case
+      (C.case_of_string
+         "n=7;ids=5,1,3,4,0,7,2;edges=0-1,0-5,1-4,2-5,2-6,3-4,4-6;seed=341458;plan=seed=711241|cut:208:2-5")
+  in
+  Printf.printf "race case: converged=%b closure=%b rounds=%d\n%!" r.C.converged
+    r.C.closure_ok r.C.rounds;
+  List.iter
+    (fun line ->
+      let r = C.Default.run_case (C.case_of_string line) in
+      Printf.printf "converged=%b closure=%b rounds=%d deg=%s a=%d b=%d\n%!"
+        r.C.converged r.C.closure_ok r.C.rounds
+        (match r.C.degree with Some d -> string_of_int d | None -> "-")
+        (r.C.stats.Mdst_sim.Fault.drops + r.C.stats.Mdst_sim.Fault.corruptions + r.C.stats.Mdst_sim.Fault.cuts)
+        (r.C.stats.Mdst_sim.Fault.crashes + r.C.stats.Mdst_sim.Fault.reorders + r.C.stats.Mdst_sim.Fault.links))
+    [
+      "n=8;edges=0-1,1-2,2-3,3-4,4-5,5-6,6-7,0-7;seed=5;plan=seed=2|drop:0-80:0>1:0.5|crash:60:3:random";
+      "n=10;edges=0-1,1-2,2-3,3-4,0-4,0-5,1-6,2-7,3-8,4-9,5-7,7-9,9-6,6-8,8-5;seed=9;plan=seed=4|cut:40:0-1|link:90:0-2";
+      "n=9;edges=0-1,1-2,3-4,4-5,6-7,7-8,0-3,3-6,1-4,4-7,2-5,5-8;seed=13;plan=seed=8|corrupt:0-60:4>1:0.75|reorder:0-120:1>4:0.5:6";
+    ]

@@ -13,11 +13,19 @@ module Gen = Mdst_graph.Gen
 module Run = Mdst_core.Run
 
 let graph_of ~family ~n ~seed ~shuffle_ids ~input =
+  (* Generation and relabelling get independent child streams, so
+     --shuffle-ids permutes the identifiers of the *same* topology the
+     unshuffled run uses, instead of changing the graph under the
+     comparison. *)
   let rng = Mdst_util.Prng.create (seed lxor 0x5eed) in
+  let gen_rng = Mdst_util.Prng.split rng in
+  let id_rng = Mdst_util.Prng.split rng in
   let g =
-    match input with Some path -> Mdst_graph.Io.load path | None -> Gen.by_name family rng ~n
+    match input with
+    | Some path -> Mdst_graph.Io.load path
+    | None -> Gen.by_name family gen_rng ~n
   in
-  if shuffle_ids then Gen.with_random_ids rng g else g
+  if shuffle_ids then Gen.with_random_ids id_rng g else g
 
 (* ---- common options ---- *)
 
@@ -63,9 +71,14 @@ let oracle_arg =
 let trace_arg =
   Arg.(value & opt int 0 & info [ "trace" ] ~docv:"N" ~doc:"Print the first $(docv) protocol events (ticks excluded, gossip excluded).")
 
+let faults_arg =
+  Arg.(value & opt (some string) None
+       & info [ "faults" ] ~docv:"PLAN"
+           ~doc:"Inject a deterministic fault plan while the protocol runs.  $(docv) is the textual plan form, e.g. $(b,seed=3|drop:0-200:0>1:0.5|crash:150:4:random|cut:100:0-1); see docs/FAULTS.md.  Convergence is only declared after the plan's last fault round.")
+
 let run_cmd =
   let action family n seed shuffle input save_graph init latency max_rounds dot no_oracle trace
-      =
+      faults =
     let graph = graph_of ~family ~n ~seed ~shuffle_ids:shuffle ~input in
     (match save_graph with
     | Some path ->
@@ -78,27 +91,48 @@ let run_cmd =
       if no_oracle then fun _ -> true else fun t -> not (Mdst_baseline.Fr.improvable t)
     in
     let latency = Mdst_sim.Latency.by_name latency seed in
-    (* With --trace we drive the engine manually so the observer can print
-       as the run unfolds. *)
-    let r =
-      if trace <= 0 then Run.converge ~latency ~seed ~init ~max_rounds ~fixpoint graph
-      else begin
-        let engine = Run.make_engine ~latency ~seed ~init graph in
-        let remaining = ref trace in
-        Run.Engine.observe engine (function
-          | Mdst_sim.Engine.Obs_deliver { src; dst; label; round; time }
-            when label <> "info" && !remaining > 0 ->
-              decr remaining;
-              Printf.printf "  [round %5d | t=%8.1f] %-11s %d -> %d\n" round time label src dst
-          | Mdst_sim.Engine.Obs_deliver _ | Mdst_sim.Engine.Obs_tick _ -> ());
-        let stop = Run.make_stop ~fixpoint () in
-        let outcome = Run.Engine.run engine ~max_rounds ~check_every:2 ~stop () in
-        Run.Engine.unobserve engine;
-        ignore outcome;
-        (* Re-derive the result record via a fresh converge on the same
-           seed — identical by determinism — to keep one code path. *)
-        Run.converge ~latency ~seed ~init ~max_rounds ~fixpoint graph
-      end
+    let plan = Option.map Mdst_sim.Fault.of_string faults in
+    (* Tracing and fault injection both need to drive the engine manually;
+       the plain path stays on the one-call harness. *)
+    let r, final_graph =
+      match (plan, trace) with
+      | None, t when t <= 0 ->
+          (Run.converge ~latency ~seed ~init ~max_rounds ~fixpoint graph, graph)
+      | _ ->
+          let engine = Run.make_engine ~latency ~seed ~init graph in
+          Option.iter
+            (fun p -> Run.Engine.install_faults engine ~remap:Mdst_core.Transplant.states p)
+            plan;
+          if trace > 0 then begin
+            let remaining = ref trace in
+            Run.Engine.observe engine (function
+              | Mdst_sim.Engine.Obs_deliver { src; dst; label; round; time }
+                when label <> "info" && !remaining > 0 ->
+                  decr remaining;
+                  Printf.printf "  [round %5d | t=%8.1f] %-11s %d -> %d\n" round time label src
+                    dst
+              | Mdst_sim.Engine.Obs_fault { kind; detail; round; time } ->
+                  Printf.printf "  [round %5d | t=%8.1f] fault:%-5s %s\n" round time kind detail
+              | Mdst_sim.Engine.Obs_deliver _ | Mdst_sim.Engine.Obs_tick _ -> ())
+          end;
+          (* Convergence only counts once the adversary is done: strictly
+             past the last fault round, with no scheduled event waiting. *)
+          let last_fault =
+            match plan with Some p -> Mdst_sim.Fault.last_fault_round p | None -> -1
+          in
+          let base_stop = Run.make_stop ~fixpoint () in
+          let stop e =
+            let held = base_stop e in
+            held && Run.Engine.rounds e > last_fault && not (Run.Engine.faults_pending e)
+          in
+          let outcome = Run.Engine.run engine ~max_rounds ~check_every:2 ~stop () in
+          if trace > 0 then Run.Engine.unobserve engine;
+          (match plan with
+          | Some _ ->
+              Format.printf "faults applied: %a@." Mdst_sim.Fault.pp_stats
+                (Run.Engine.fault_stats engine)
+          | None -> ());
+          (Run.snapshot engine ~converged:outcome.converged, Run.Engine.graph engine)
     in
     Printf.printf "converged: %b\nrounds: %d\nvirtual time: %.1f\nmessages: %d (%d bits)\n"
       r.converged r.rounds r.time r.total_messages r.total_bits;
@@ -106,8 +140,9 @@ let run_cmd =
     (match r.degree with
     | Some d ->
         Printf.printf "final tree degree: %d\n" d;
-        let fr = Tree.max_degree (Mdst_baseline.Fr.approx_mdst graph) in
-        let lo = max (Mdst_baseline.Exact.lower_bound graph) (fr - 1) in
+        (* Against the final topology: cut/link faults may have changed it. *)
+        let fr = Tree.max_degree (Mdst_baseline.Fr.approx_mdst final_graph) in
+        let lo = max (Mdst_baseline.Exact.lower_bound final_graph) (fr - 1) in
         if lo = fr then Printf.printf "FR reference degree: %d (Delta* = %d)\n" fr fr
         else Printf.printf "FR reference degree: %d (Delta* is %d or %d)\n" fr lo fr
     | None -> print_endline "no legitimate tree at stop");
@@ -122,7 +157,7 @@ let run_cmd =
   let term =
     Term.(
       const action $ family_arg $ n_arg $ seed_arg $ shuffle_arg $ input_arg $ save_graph_arg
-      $ init_arg $ latency_arg $ max_rounds_arg $ dot_arg $ oracle_arg $ trace_arg)
+      $ init_arg $ latency_arg $ max_rounds_arg $ dot_arg $ oracle_arg $ trace_arg $ faults_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Simulate the self-stabilizing MDST protocol on one graph.") term
 
@@ -136,8 +171,10 @@ let solve_cmd =
     let rng = Mdst_util.Prng.create seed in
     List.iter
       (fun spec ->
+        (* Independent stream per baseline: listing more baselines must
+           not change the draws of the ones before. *)
         Printf.printf "%-12s degree %d\n" (Mdst_baseline.Naive.name spec)
-          (Mdst_baseline.Naive.degree rng spec graph))
+          (Mdst_baseline.Naive.degree (Mdst_util.Prng.split rng) spec graph))
       Mdst_baseline.Naive.all;
     let fr = Mdst_baseline.Fr.approx_mdst graph in
     Printf.printf "%-12s degree %d\n" "FR" (Tree.max_degree fr);
@@ -221,6 +258,114 @@ let experiments_cmd =
     (Cmd.info "experiments" ~doc:"Regenerate every table and figure of EXPERIMENTS.md.")
     term
 
+(* ---- pbt ---- *)
+
+let pbt_cmd =
+  let tests_arg =
+    Arg.(value & opt int 60 & info [ "tests" ] ~docv:"N" ~doc:"Generated cases per property.")
+  in
+  let pbt_seed_arg =
+    Arg.(value & opt int 1729 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Seed for the whole generate-fail-shrink trajectory; the same seed replays it exactly.")
+  in
+  let suite_arg =
+    let doc =
+      "Property suite: "
+      ^ String.concat ", " (Mdst_check.Suites.suite_names @ [ "convergence" ])
+      ^ ".  $(b,all) runs everything including convergence."
+    in
+    Arg.(value & opt string "all" & info [ "suite" ] ~docv:"SUITE" ~doc)
+  in
+  let max_nodes_arg =
+    Arg.(value & opt int 10 & info [ "max-nodes" ] ~docv:"N" ~doc:"Largest generated topology for the convergence property.")
+  in
+  let max_events_arg =
+    Arg.(value & opt int 5 & info [ "max-events" ] ~docv:"N" ~doc:"Most fault events per generated plan.")
+  in
+  let broken_arg =
+    Arg.(value & flag & info [ "broken" ] ~doc:"Test the deliberately broken grant-dropping protocol variant instead of the real one.  The run succeeds when the property is $(i,falsified) and prints the shrunk reproducer — a self-check that the harness catches real bugs.")
+  in
+  let replay_arg =
+    Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"CASE" ~doc:"Skip generation and replay one printed reproducer (the $(b,n=..;edges=..;seed=..;plan=..) line a failure reports).")
+  in
+  let action tests seed suite max_nodes max_events broken replay =
+    let module C = Mdst_check.Convergence in
+    let module P = Mdst_check.Property in
+    let module S = Mdst_check.Suites in
+    let run_case, prop, variant =
+      if broken then (C.Broken.run_case, C.Broken.prop () , "broken grant-dropping variant")
+      else (C.Default.run_case, C.Default.prop (), "paper protocol")
+    in
+    match replay with
+    | Some line ->
+        let case = C.case_of_string line in
+        Printf.printf "replaying (%s): %s\n%!" variant (C.case_to_string case);
+        let r = run_case ?budget:None case in
+        Printf.printf
+          "converged: %b\nrounds: %d (last fault at round %d)\ntree degree: %s (FR reference %d)\nclosure: %b\n"
+          r.C.converged r.C.rounds r.C.last_fault_round
+          (match r.C.degree with Some d -> string_of_int d | None -> "-")
+          r.C.fr_degree r.C.closure_ok;
+        Format.printf "faults applied: %a@." Mdst_sim.Fault.pp_stats r.C.stats;
+        (match prop case with
+        | Ok () -> print_endline "property: holds on this case"
+        | Error reason ->
+            Printf.printf "property: falsified — %s\n" reason;
+            exit 1)
+    | None ->
+        let failures = ref 0 in
+        let run_packed packed =
+          match S.check ~tests ~seed packed with
+          | P.Passed { tests } -> Printf.printf "PASS %-36s %d tests\n%!" (S.name packed) tests
+          | P.Falsified c ->
+              incr failures;
+              print_endline (P.render ~name:(S.name packed) c)
+        in
+        (match suite with
+        | "convergence" | "all" -> ()
+        | s -> ignore (S.by_name s));
+        (match suite with
+        | "convergence" -> ()
+        | s -> List.iter run_packed (S.by_name (if s = "all" then "all" else s)));
+        (match suite with
+        | "convergence" | "all" ->
+            let property =
+              (if broken then C.Broken.property else C.Default.property)
+                ~max_n:max_nodes ~max_events ()
+            in
+            let t0 = Sys.time () in
+            (match P.check ~tests ~seed property with
+            | P.Passed { tests } ->
+                Printf.printf "%s %-36s %d tests (%.1fs)\n%!"
+                  (if broken then "FAIL" else "PASS")
+                  property.P.name tests (Sys.time () -. t0);
+                if broken then begin
+                  incr failures;
+                  print_endline
+                    "expected the broken variant to be falsified, but every test passed"
+                end
+            | P.Falsified c ->
+                if broken then begin
+                  Printf.printf
+                    "falsified as expected (%d tests, %d shrink steps).  Shrunk reproducer:\n  %s\nreason: %s\nreplay with: mdst_sim pbt --broken --replay '%s'\n%!"
+                    c.P.tests_run c.P.shrink_steps c.P.printed c.P.reason c.P.printed
+                end
+                else begin
+                  incr failures;
+                  print_endline (P.render ~name:property.P.name c)
+                end)
+        | _ -> ());
+        if !failures > 0 then exit 1
+  in
+  let term =
+    Term.(
+      const action $ tests_arg $ pbt_seed_arg $ suite_arg $ max_nodes_arg $ max_events_arg
+      $ broken_arg $ replay_arg)
+  in
+  Cmd.v
+    (Cmd.info "pbt"
+       ~doc:"Property-based testing: generate random (topology, fault plan, seed) cases, check convergence-under-adversity, shrink failures to minimal reproducers.")
+    term
+
 (* ---- families ---- *)
 
 let families_cmd =
@@ -238,4 +383,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; solve_cmd; compare_cmd; props_cmd; experiments_cmd; families_cmd ]))
+          [ run_cmd; solve_cmd; compare_cmd; props_cmd; experiments_cmd; pbt_cmd; families_cmd ]))

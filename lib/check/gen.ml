@@ -1,0 +1,144 @@
+(* QuickCheck-style generators on top of the repository PRNG.  Every
+   combinator works on a split child of the incoming state, so a composite
+   generator's sub-draws never interfere with each other. *)
+
+module Prng = Mdst_util.Prng
+module Graph = Mdst_graph.Graph
+module Fault = Mdst_sim.Fault
+
+type 'a t = Prng.t -> 'a
+
+let run g ~seed = g (Prng.create seed)
+
+let return v _ = v
+
+let map f g rng = f (g (Prng.split rng))
+
+let bind g f rng =
+  let v = g (Prng.split rng) in
+  f v (Prng.split rng)
+
+let pair a b rng =
+  let x = a (Prng.split rng) in
+  let y = b (Prng.split rng) in
+  (x, y)
+
+let int_in lo hi rng = Prng.int_in rng lo hi
+
+let float_in lo hi rng = lo +. Prng.float rng (hi -. lo)
+
+let bool rng = Prng.bool rng
+
+let oneof gens rng =
+  match gens with
+  | [] -> invalid_arg "Gen.oneof: empty list"
+  | _ ->
+      let g = List.nth gens (Prng.int rng (List.length gens)) in
+      g (Prng.split rng)
+
+let frequency weighted rng =
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 weighted in
+  if total <= 0 then invalid_arg "Gen.frequency: weights must be positive";
+  let pick = ref (Prng.int rng total) in
+  let chosen =
+    List.find
+      (fun (w, _) ->
+        if !pick < w then true
+        else begin
+          pick := !pick - w;
+          false
+        end)
+      weighted
+  in
+  (snd chosen) (Prng.split rng)
+
+let list_of ~len g rng =
+  let n = len (Prng.split rng) in
+  List.init n (fun _ -> g (Prng.split rng))
+
+(* ---------------- graphs ---------------- *)
+
+let connected_graph ?(min_n = 4) ?(max_n = 12) ?(shuffle_ids = true) () rng =
+  let n = Prng.int_in rng min_n max_n in
+  let child = Prng.split rng in
+  let g =
+    match Prng.int rng 4 with
+    | 0 | 1 ->
+        (* Random tree plus a few extra edges: the sparse common case. *)
+        let max_m = n * (n - 1) / 2 in
+        let m = min max_m (n - 1 + Prng.int rng (1 + (n / 2))) in
+        Mdst_graph.Gen.random_connected child ~n ~m
+    | 2 ->
+        let p = 0.25 +. Prng.float rng 0.35 in
+        Mdst_graph.Gen.erdos_renyi_connected child ~n ~p
+    | _ -> Mdst_graph.Gen.barabasi_albert child ~n ~k:(min (n - 1) (1 + Prng.int rng 2))
+  in
+  if shuffle_ids then Mdst_graph.Gen.with_random_ids (Prng.split rng) g else g
+
+(* ---------------- fault plans ---------------- *)
+
+let window ~horizon rng =
+  let from_round = Prng.int_in rng 0 horizon in
+  let len = Prng.int_in rng 0 (max 1 (horizon / 4)) in
+  { Fault.from_round; upto_round = min horizon (from_round + len) }
+
+let channel graph rng =
+  let u, v = Prng.choose rng (Graph.edges graph) in
+  if Prng.bool rng then (u, v) else (v, u)
+
+let fault_event graph ~horizon rng =
+  (* Probabilities and delays are drawn on a centesimal grid so the
+     reproducer's textual form round-trips bit-exactly (Fault.rng_for
+     hashes event contents — a parse that changed one low bit would
+     replay a different adversary). *)
+  let prob rng = float_of_int (Prng.int_in rng 25 100) /. 100. in
+  let non_bridge () =
+    let bridges = Mdst_graph.Algo.bridges graph in
+    Array.to_list (Graph.edges graph)
+    |> List.filter (fun e -> not (List.mem e bridges))
+  in
+  match Prng.int rng 13 with
+  | 0 | 1 | 2 ->
+      let src, dst = channel graph rng in
+      Fault.Drop { window = window ~horizon rng; src; dst; prob = prob rng }
+  | 3 | 4 ->
+      let src, dst = channel graph rng in
+      Fault.Duplicate
+        { window = window ~horizon rng; src; dst; prob = prob rng; copies = Prng.int_in rng 1 3 }
+  | 5 | 6 ->
+      let src, dst = channel graph rng in
+      Fault.Reorder
+        { window = window ~horizon rng; src; dst; prob = prob rng;
+          delay = float_of_int (Prng.int_in rng 10 100) /. 10. }
+  | 7 | 8 ->
+      let src, dst = channel graph rng in
+      Fault.Corrupt { window = window ~horizon rng; src; dst; prob = prob rng }
+  | 9 | 10 ->
+      Fault.Crash
+        { at_round = Prng.int_in rng 0 horizon; node = Prng.int rng (Graph.n graph);
+          mode = (if Prng.bool rng then `Random else `Init) }
+  | 11 -> (
+      match non_bridge () with
+      | [] ->
+          (* Every edge is a bridge (a tree): fall back to a crash. *)
+          Fault.Crash
+            { at_round = Prng.int_in rng 0 horizon; node = Prng.int rng (Graph.n graph);
+              mode = `Random }
+      | candidates ->
+          let u, v = List.nth candidates (Prng.int rng (List.length candidates)) in
+          Fault.Cut { at_round = Prng.int_in rng 0 horizon; u; v })
+  | _ -> (
+      match Graph.non_edges graph with
+      | [] ->
+          Fault.Crash
+            { at_round = Prng.int_in rng 0 horizon; node = Prng.int rng (Graph.n graph);
+              mode = `Init }
+      | absent ->
+          let u, v = List.nth absent (Prng.int rng (List.length absent)) in
+          Fault.Link { at_round = Prng.int_in rng 0 horizon; u; v })
+
+let fault_plan ~graph ?(max_events = 6) ?(horizon = 400) () rng =
+  let k = Prng.int_in rng 0 max_events in
+  let plan_seed = Prng.int rng 1_000_000 in
+  let events = List.init k (fun _ -> fault_event graph ~horizon (Prng.split rng)) in
+  { Fault.plan_seed; events }

@@ -1,0 +1,55 @@
+(** Generators for the property-based testing harness.
+
+    A generator is a function of a {!Mdst_util.Prng.t}; all combinators
+    split the incoming generator state so that composite generators are
+    insensitive to how many draws their components make (adding a field to
+    a record generator does not shift sibling draws). *)
+
+type 'a t = Mdst_util.Prng.t -> 'a
+
+val run : 'a t -> seed:int -> 'a
+(** Run a generator from a fresh seed. *)
+
+(** {1 Combinators} *)
+
+val return : 'a -> 'a t
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+val bind : 'a t -> ('a -> 'b t) -> 'b t
+
+val pair : 'a t -> 'b t -> ('a * 'b) t
+
+val int_in : int -> int -> int t
+(** Uniform in the inclusive range. *)
+
+val float_in : float -> float -> float t
+
+val bool : bool t
+
+val oneof : 'a t list -> 'a t
+
+val frequency : (int * 'a t) list -> 'a t
+(** Weighted choice; weights must be positive. *)
+
+val list_of : len:int t -> 'a t -> 'a list t
+
+(** {1 Domain generators} *)
+
+val connected_graph : ?min_n:int -> ?max_n:int -> ?shuffle_ids:bool -> unit -> Mdst_graph.Graph.t t
+(** A random connected graph: a uniform random spanning tree
+    ({!Mdst_graph.Prufer}) plus a random number of extra edges, with the
+    occasional denser Erdős–Rényi or Barabási–Albert instance mixed in.
+    Defaults: [min_n = 4], [max_n = 12], identifiers shuffled. *)
+
+val fault_plan :
+  graph:Mdst_graph.Graph.t ->
+  ?max_events:int ->
+  ?horizon:int ->
+  unit ->
+  Mdst_sim.Fault.plan t
+(** A fault plan for [graph]: up to [max_events] (default 6) events whose
+    windows and rounds fall within [\[0, horizon\]] (default 400).  Channel
+    events target real edges of [graph]; cut events target non-bridge
+    edges when one exists; link events target absent pairs.  The plan seed
+    is drawn from the generator too, so a case replays from one seed. *)

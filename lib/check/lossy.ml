@@ -1,0 +1,29 @@
+module Make
+    (A : Mdst_sim.Node.AUTOMATON)
+    (L : sig
+      val drop_labels : string list
+    end) =
+struct
+  type state = A.state
+
+  type msg = A.msg
+
+  let name = A.name ^ "-lossy"
+
+  let init = A.init
+
+  let random_state = A.random_state
+
+  let random_msg = A.random_msg
+
+  let on_tick = A.on_tick
+
+  let on_message ctx st ~src msg =
+    if List.mem (A.msg_label msg) L.drop_labels then st else A.on_message ctx st ~src msg
+
+  let msg_label = A.msg_label
+
+  let msg_bits = A.msg_bits
+
+  let state_bits = A.state_bits
+end

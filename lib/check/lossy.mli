@@ -1,0 +1,13 @@
+(** Deliberately broken protocol variants, for validating the harness.
+
+    A self-test of the PBT layer needs a protocol with a {e known} bug.
+    [Make] wraps any automaton and silently discards, on receipt, every
+    message whose family label is listed — e.g. dropping ["grant"] makes
+    the MDST protocol skip the Remove/Grant swap acknowledgement, so no
+    degree improvement ever commits and the convergence property must
+    fail.  The wrapper stays inside the {!Mdst_sim.Node.AUTOMATON}
+    contract, so the whole engine / fault / checker stack runs unchanged. *)
+
+module Make (A : Mdst_sim.Node.AUTOMATON) (_ : sig
+  val drop_labels : string list
+end) : Mdst_sim.Node.AUTOMATON with type state = A.state and type msg = A.msg

@@ -1,0 +1,71 @@
+module Prng = Mdst_util.Prng
+
+type 'a prop = 'a -> (unit, string) result
+
+type 'a t = {
+  name : string;
+  gen : 'a Gen.t;
+  prop : 'a prop;
+  shrink : 'a Shrink.t;
+  print : 'a -> string;
+}
+
+let make ~name ~gen ?(shrink = Shrink.nothing) ?(print = fun _ -> "<opaque>") prop =
+  { name; gen; prop; shrink; print }
+
+type counterexample = {
+  printed : string;
+  reason : string;
+  tests_run : int;
+  shrink_steps : int;
+  seed : int;
+}
+
+type result = Passed of { tests : int } | Falsified of counterexample
+
+(* Greedy descent: take the first failing shrink candidate, repeat until no
+   candidate fails (a local minimum) or the step budget runs out. *)
+let minimize p case reason ~max_shrinks =
+  let rec go case reason steps =
+    if steps >= max_shrinks then (case, reason, steps)
+    else
+      let failing =
+        Seq.filter_map
+          (fun candidate ->
+            match p.prop candidate with
+            | Ok () -> None
+            | Error r -> Some (candidate, r))
+          (p.shrink case)
+      in
+      match failing () with
+      | Seq.Nil -> (case, reason, steps)
+      | Seq.Cons ((candidate, r), _) -> go candidate r (steps + 1)
+  in
+  go case reason 0
+
+let check ?(tests = 100) ?(seed = 1729) ?(max_shrinks = 1000) p =
+  let rng = Prng.create seed in
+  let rec loop i =
+    if i >= tests then Passed { tests }
+    else
+      let case = p.gen (Prng.split rng) in
+      match p.prop case with
+      | Ok () -> loop (i + 1)
+      | Error reason ->
+          let case, reason, shrink_steps = minimize p case reason ~max_shrinks in
+          Falsified
+            { printed = p.print case; reason; tests_run = i + 1; shrink_steps; seed }
+  in
+  loop 0
+
+let render ~name c =
+  Printf.sprintf
+    "property %S falsified after %d test(s), %d shrink step(s) [seed %d]\n\
+     reason: %s\n\
+     minimal counterexample:\n%s"
+    name c.tests_run c.shrink_steps c.seed c.reason c.printed
+
+let check_exn ?tests ?seed ?max_shrinks p =
+  match check ?tests ?seed ?max_shrinks p with
+  | Passed _ -> ()
+  | Falsified c -> failwith (render ~name:p.name c)

@@ -1,0 +1,43 @@
+(** The QuickCheck-style driver: generate, test, shrink, report.
+
+    A property bundles a generator, a predicate, a shrinker and a printer.
+    {!check} runs [tests] generated cases from a deterministic seed; on the
+    first failure it greedily shrinks the case to a local minimum (the
+    first failing candidate of each shrink round is kept) and reports a
+    {!counterexample} whose [printed] form is the minimal reproducer. *)
+
+type 'a prop = 'a -> (unit, string) result
+(** [Error reason] means the case falsifies the property. *)
+
+type 'a t = {
+  name : string;
+  gen : 'a Gen.t;
+  prop : 'a prop;
+  shrink : 'a Shrink.t;
+  print : 'a -> string;
+}
+
+val make :
+  name:string -> gen:'a Gen.t -> ?shrink:'a Shrink.t -> ?print:('a -> string) -> 'a prop -> 'a t
+(** Defaults: no shrinking, opaque printer. *)
+
+type counterexample = {
+  printed : string;  (** the shrunk case, via the property's printer *)
+  reason : string;  (** why it fails (the final candidate's reason) *)
+  tests_run : int;  (** generated cases before the failure *)
+  shrink_steps : int;  (** successful shrink steps taken *)
+  seed : int;  (** the [check] seed that reproduces the whole search *)
+}
+
+type result = Passed of { tests : int } | Falsified of counterexample
+
+val check : ?tests:int -> ?seed:int -> ?max_shrinks:int -> 'a t -> result
+(** Defaults: [tests = 100], [seed = 1729], [max_shrinks = 1000].  The
+    same seed replays the identical generate–fail–shrink trajectory. *)
+
+val check_exn : ?tests:int -> ?seed:int -> ?max_shrinks:int -> 'a t -> unit
+(** @raise Failure with a rendered counterexample on falsification. *)
+
+val render : name:string -> counterexample -> string
+(** The human-facing failure report (multi-line, ends with the
+    reproducer). *)

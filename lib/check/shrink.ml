@@ -1,0 +1,92 @@
+module Graph = Mdst_graph.Graph
+module Fault = Mdst_sim.Fault
+
+type 'a t = 'a -> 'a Seq.t
+
+let nothing _ = Seq.empty
+
+let int ?(towards = 0) v =
+  if v = towards then Seq.empty
+  else
+    (* The target first, then candidates halving the distance back up. *)
+    let rec gaps acc gap = if gap = 0 then acc else gaps (gap :: acc) (gap / 2) in
+    towards :: List.rev_map (fun g -> towards + g) (gaps [] ((v - towards) / 2))
+    |> List.to_seq
+    |> Seq.filter (fun c -> c <> v)
+
+(* Remove chunks of decreasing size, then singles. *)
+let list xs =
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  let without_range lo len =
+    Array.to_list arr |> List.filteri (fun i _ -> i < lo || i >= lo + len)
+  in
+  let rec chunks size () =
+    if size = 0 then Seq.Nil
+    else
+      let starts = Seq.init (max 1 (n - size + 1)) (fun i -> i) in
+      Seq.append
+        (Seq.filter_map
+           (fun lo -> if lo + size <= n then Some (without_range lo size) else None)
+           starts)
+        (chunks (size / 2))
+        ()
+  in
+  if n = 0 then Seq.empty else chunks (n / 2)
+
+let remove_vertex g v =
+  let n = Graph.n g in
+  if n <= 2 || v < 0 || v >= n then None
+  else begin
+    let rename w = if w > v then w - 1 else w in
+    let edges =
+      Graph.fold_edges g ~init:[] ~f:(fun acc a b ->
+          if a = v || b = v then acc else (rename a, rename b) :: acc)
+    in
+    let ids =
+      Array.init (n - 1) (fun i -> Graph.id g (if i >= v then i + 1 else i))
+    in
+    let candidate = Graph.of_edges ~ids ~n:(n - 1) edges in
+    if Mdst_graph.Algo.is_connected candidate then Some candidate else None
+  end
+
+let remove_edge g (u, v) =
+  let n = Graph.n g in
+  let edges =
+    Graph.fold_edges g ~init:[] ~f:(fun acc a b ->
+        if (a = u && b = v) || (a = v && b = u) then acc else (a, b) :: acc)
+  in
+  let ids = Array.init n (Graph.id g) in
+  Graph.of_edges ~ids ~n edges
+
+let graph g =
+  let vertex_deletions =
+    Seq.filter_map (fun v -> remove_vertex g v) (Seq.init (Graph.n g) (fun v -> v))
+  in
+  let edge_deletions =
+    let bridges = Mdst_graph.Algo.bridges g in
+    Array.to_seq (Graph.edges g)
+    |> Seq.filter (fun e -> not (List.mem e bridges))
+    |> Seq.map (remove_edge g)
+  in
+  Seq.append vertex_deletions edge_deletions
+
+let plan (p : Fault.plan) =
+  Seq.map (fun events -> { p with Fault.events }) (list p.Fault.events)
+
+let remap_plan_without_vertex ~removed (p : Fault.plan) =
+  let rename w = if w > removed then w - 1 else w in
+  let keep ev =
+    not (List.mem removed (Fault.nodes_mentioned { p with Fault.events = [ ev ] }))
+  in
+  let rename_event (ev : Fault.event) : Fault.event =
+    match ev with
+    | Drop f -> Drop { f with src = rename f.src; dst = rename f.dst }
+    | Duplicate f -> Duplicate { f with src = rename f.src; dst = rename f.dst }
+    | Reorder f -> Reorder { f with src = rename f.src; dst = rename f.dst }
+    | Corrupt f -> Corrupt { f with src = rename f.src; dst = rename f.dst }
+    | Crash f -> Crash { f with node = rename f.node }
+    | Cut f -> Cut { f with u = rename f.u; v = rename f.v }
+    | Link f -> Link { f with u = rename f.u; v = rename f.v }
+  in
+  { p with Fault.events = List.map rename_event (List.filter keep p.Fault.events) }

@@ -56,6 +56,10 @@ module Runner (A : Mdst_sim.Node.AUTOMATON with type state = State.t and type ms
     ?quiet_rounds:int -> ?fixpoint:(Mdst_graph.Tree.t -> bool) -> unit -> Engine.t -> bool
   (** A fresh stateful stop predicate (tracks the fingerprint). *)
 
+  val snapshot : Engine.t -> converged:bool -> result
+  (** The {!result} record of a custom engine run, for callers that drive
+      {!Engine.run} themselves (tracing, fault injection). *)
+
   val converge :
     ?latency:Mdst_sim.Latency.t ->
     ?seed:int ->
@@ -90,6 +94,8 @@ val make_engine :
 
 val make_stop :
   ?quiet_rounds:int -> ?fixpoint:(Mdst_graph.Tree.t -> bool) -> unit -> Engine.t -> bool
+
+val snapshot : Engine.t -> converged:bool -> result
 
 val converge :
   ?latency:Mdst_sim.Latency.t ->

@@ -9,14 +9,26 @@ let fifo_epsilon = 1e-6
 type observation =
   | Obs_tick of { node : int; round : int; time : float }
   | Obs_deliver of { src : int; dst : int; label : string; round : int; time : float }
+  | Obs_fault of { kind : string; detail : string; round : int; time : float }
 
 module Make (A : Node.AUTOMATON) = struct
   type event = Tick of int | Deliver of { src : int; dst : int; msg : A.msg }
 
   type tagged = { event : event; tag : int }
 
+  (* An installed Fault.plan, split into the channel events (consulted on
+     every send) and the scheduled events (a round-ordered queue).  Each
+     event carries its private PRNG stream so decisions never touch the
+     engine's stream and survive deletion of sibling events (shrinking). *)
+  type faults = {
+    channel : (Fault.event * Prng.t) list;  (* in plan order *)
+    mutable pending : (int * Fault.event * Prng.t) list;  (* sorted by round *)
+    fremap : old_graph:Graph.t -> new_graph:Graph.t -> A.state array -> A.state array;
+    mutable stats : Fault.stats;
+  }
+
   type t = {
-    graph : Graph.t;
+    mutable graph : Graph.t;
     latency : Latency.t;
     tick_period : float;
     rng : Prng.t;
@@ -30,6 +42,7 @@ module Make (A : Node.AUTOMATON) = struct
     mutable current_tag : int;  (* tag of the event being processed *)
     mutable deliveries : int;
     mutable observer : (observation -> unit) option;
+    mutable faults : faults option;
   }
 
   type init =
@@ -37,13 +50,86 @@ module Make (A : Node.AUTOMATON) = struct
     | `Random
     | `Custom of A.msg Node.ctx -> Prng.t -> A.state ]
 
-  let enqueue t ~src ~dst msg =
+  let note t ~kind ~detail =
+    match t.observer with
+    | Some f -> f (Obs_fault { kind; detail; round = t.round; time = t.now })
+    | None -> ()
+
+  (* [extra_delay = Some d] bypasses the FIFO floor: the delayed message may
+     be overtaken by later sends on the same channel (reorder faults). *)
+  let enqueue_raw t ?extra_delay ~src ~dst msg =
     let lat = Latency.sample t.latency t.rng ~src ~dst in
-    let arrival = max (t.now +. lat) (t.last_arrival.(src).(dst) +. fifo_epsilon) in
-    t.last_arrival.(src).(dst) <- arrival;
+    let arrival =
+      match extra_delay with
+      | None ->
+          let a = max (t.now +. lat) (t.last_arrival.(src).(dst) +. fifo_epsilon) in
+          t.last_arrival.(src).(dst) <- a;
+          a
+      | Some d -> t.now +. lat +. d
+    in
     Metrics.record_send t.metrics ~label:(A.msg_label msg)
       ~bits:(A.msg_bits ~n:(Graph.n t.graph) msg);
     Heap.push t.heap ~prio:arrival { event = Deliver { src; dst; msg }; tag = t.current_tag + 1 }
+
+  (* The first channel event whose channel and round window match — and
+     whose coin comes up — decides the fate of the message. *)
+  let enqueue t ~src ~dst msg =
+    let applicable ev =
+      match (ev : Fault.event) with
+      | Drop f -> f.src = src && f.dst = dst && f.window.from_round <= t.round && t.round <= f.window.upto_round
+      | Duplicate f ->
+          f.src = src && f.dst = dst && f.window.from_round <= t.round && t.round <= f.window.upto_round
+      | Reorder f ->
+          f.src = src && f.dst = dst && f.window.from_round <= t.round && t.round <= f.window.upto_round
+      | Corrupt f ->
+          f.src = src && f.dst = dst && f.window.from_round <= t.round && t.round <= f.window.upto_round
+      | Crash _ | Cut _ | Link _ -> false
+    in
+    let chan = Printf.sprintf "%d>%d" src dst in
+    let rec decide = function
+      | [] -> enqueue_raw t ~src ~dst msg
+      | (ev, rng) :: rest ->
+          if not (applicable ev) then decide rest
+          else begin
+            match (ev : Fault.event) with
+            | Drop f when Prng.bernoulli rng f.prob ->
+                (match t.faults with
+                | Some fs -> fs.stats <- { fs.stats with Fault.drops = fs.stats.Fault.drops + 1 }
+                | None -> ());
+                note t ~kind:"drop" ~detail:chan
+            | Duplicate f when Prng.bernoulli rng f.prob ->
+                (match t.faults with
+                | Some fs ->
+                    fs.stats <- { fs.stats with Fault.duplicates = fs.stats.Fault.duplicates + 1 }
+                | None -> ());
+                note t ~kind:"dup" ~detail:(Printf.sprintf "%s x%d" chan f.copies);
+                for _ = 0 to f.copies do
+                  enqueue_raw t ~src ~dst msg
+                done
+            | Reorder f when Prng.bernoulli rng f.prob ->
+                (match t.faults with
+                | Some fs ->
+                    fs.stats <- { fs.stats with Fault.reorders = fs.stats.Fault.reorders + 1 }
+                | None -> ());
+                note t ~kind:"reorder" ~detail:chan;
+                enqueue_raw t ~extra_delay:(Prng.float rng f.delay) ~src ~dst msg
+            | Corrupt f when Prng.bernoulli rng f.prob -> (
+                match A.random_msg t.ctxs.(src) rng with
+                | Some msg' ->
+                    (match t.faults with
+                    | Some fs ->
+                        fs.stats <-
+                          { fs.stats with Fault.corruptions = fs.stats.Fault.corruptions + 1 }
+                    | None -> ());
+                    note t ~kind:"corrupt" ~detail:chan;
+                    enqueue_raw t ~src ~dst msg'
+                | None -> decide rest)
+            | _ -> decide rest
+          end
+    in
+    match t.faults with
+    | None -> enqueue_raw t ~src ~dst msg
+    | Some fs -> decide fs.channel
 
   let make_ctx t i =
     let neighbors = Graph.neighbors t.graph i in
@@ -85,6 +171,7 @@ module Make (A : Node.AUTOMATON) = struct
         current_tag = 0;
         deliveries = 0;
         observer = None;
+        faults = None;
       }
     in
     for i = 0 to n - 1 do
@@ -155,6 +242,141 @@ module Make (A : Node.AUTOMATON) = struct
     enqueue t ~src ~dst msg;
     t.current_tag <- saved
 
+  let reset_node t ?rng mode i =
+    let rng = match rng with Some r -> r | None -> t.rng in
+    t.states.(i) <-
+      (match mode with `Init -> A.init t.ctxs.(i) | `Random -> A.random_state t.ctxs.(i) rng)
+
+  let purge_channel t ~src ~dst =
+    Heap.filter t.heap (fun _ { event; _ } ->
+        match event with
+        | Deliver d -> not (d.src = src && d.dst = dst)
+        | Tick _ -> true)
+
+  let reshape t ?(remap = fun ~old_graph:_ ~new_graph:_ states -> states) new_graph =
+    if Graph.n new_graph <> Graph.n t.graph then
+      invalid_arg "Engine.reshape: node count must be preserved";
+    if not (Mdst_graph.Algo.is_connected new_graph) then
+      invalid_arg "Engine.reshape: graph must stay connected";
+    let old_graph = t.graph in
+    (* Messages in flight on vanished edges are lost with the edge. *)
+    ignore
+      (Heap.filter t.heap (fun _ { event; _ } ->
+           match event with
+           | Deliver { src; dst; _ } -> Graph.mem_edge new_graph src dst
+           | Tick _ -> true));
+    t.graph <- new_graph;
+    for i = 0 to Graph.n new_graph - 1 do
+      let kept_rng = t.ctxs.(i).Node.rng in
+      t.ctxs.(i) <- { (make_ctx t i) with Node.rng = kept_rng }
+    done;
+    let remapped = remap ~old_graph ~new_graph t.states in
+    if remapped != t.states then Array.blit remapped 0 t.states 0 (Array.length t.states)
+
+  let install_faults t ?(remap = fun ~old_graph:_ ~new_graph:_ states -> states) plan =
+    let channel, scheduled =
+      List.partition
+        (fun ev ->
+          match (ev : Fault.event) with
+          | Drop _ | Duplicate _ | Reorder _ | Corrupt _ -> true
+          | Crash _ | Cut _ | Link _ -> false)
+        plan.Fault.events
+    in
+    let pending =
+      List.stable_sort
+        (fun (r1, _, _) (r2, _, _) -> compare r1 r2)
+        (List.map
+           (fun ev ->
+             let r =
+               match (ev : Fault.event) with
+               | Crash { at_round; _ } | Cut { at_round; _ } | Link { at_round; _ } -> at_round
+               | _ -> assert false
+             in
+             (r, ev, Fault.rng_for plan ev))
+           scheduled)
+    in
+    t.faults <-
+      Some
+        {
+          channel = List.map (fun ev -> (ev, Fault.rng_for plan ev)) channel;
+          pending;
+          fremap = remap;
+          stats = Fault.zero_stats;
+        }
+
+  let fault_stats t = match t.faults with None -> Fault.zero_stats | Some fs -> fs.stats
+
+  let faults_pending t = match t.faults with None -> false | Some fs -> fs.pending <> []
+
+  let skip fs t ~detail =
+    fs.stats <- { fs.stats with Fault.skipped = fs.stats.Fault.skipped + 1 };
+    note t ~kind:"skip" ~detail
+
+  (* Fire every scheduled event whose round has been reached.  Cut / Link
+     must keep the network inside the paper's model (connected, simple), so
+     infeasible events are skipped and recorded as such — this is what lets
+     the shrinker delete graph structure without invalidating plans. *)
+  let apply_due_faults t =
+    match t.faults with
+    | None -> ()
+    | Some fs ->
+        let n = Graph.n t.graph in
+        let rec go () =
+          match fs.pending with
+          | (r, ev, rng) :: rest when r <= t.round ->
+              fs.pending <- rest;
+              (match (ev : Fault.event) with
+              | Crash { node; mode; _ } ->
+                  if node < 0 || node >= n then
+                    skip fs t ~detail:(Printf.sprintf "crash %d out of range" node)
+                  else begin
+                    fs.stats <- { fs.stats with Fault.crashes = fs.stats.Fault.crashes + 1 };
+                    note t ~kind:"crash"
+                      ~detail:
+                        (Printf.sprintf "%d %s" node
+                           (match mode with `Init -> "init" | `Random -> "random"));
+                    reset_node t ~rng mode node;
+                    Array.iter
+                      (fun nb ->
+                        ignore (purge_channel t ~src:node ~dst:nb);
+                        ignore (purge_channel t ~src:nb ~dst:node))
+                      (Graph.neighbors t.graph node)
+                  end
+              | Cut { u; v; _ } ->
+                  if u < 0 || v < 0 || u >= n || v >= n || not (Graph.mem_edge t.graph u v)
+                  then skip fs t ~detail:(Printf.sprintf "cut %d-%d absent" u v)
+                  else begin
+                    let ids = Array.init n (Graph.id t.graph) in
+                    let edges =
+                      List.filter
+                        (fun (a, b) -> not ((a = u && b = v) || (a = v && b = u)))
+                        (Array.to_list (Graph.edges t.graph))
+                    in
+                    let candidate = Graph.of_edges ~ids ~n edges in
+                    if not (Mdst_graph.Algo.is_connected candidate) then
+                      skip fs t ~detail:(Printf.sprintf "cut %d-%d would disconnect" u v)
+                    else begin
+                      fs.stats <- { fs.stats with Fault.cuts = fs.stats.Fault.cuts + 1 };
+                      note t ~kind:"cut" ~detail:(Printf.sprintf "%d-%d" u v);
+                      reshape t ~remap:fs.fremap candidate
+                    end
+                  end
+              | Link { u; v; _ } ->
+                  if u < 0 || v < 0 || u >= n || v >= n || u = v || Graph.mem_edge t.graph u v
+                  then skip fs t ~detail:(Printf.sprintf "link %d-%d infeasible" u v)
+                  else begin
+                    let ids = Array.init n (Graph.id t.graph) in
+                    let edges = (u, v) :: Array.to_list (Graph.edges t.graph) in
+                    fs.stats <- { fs.stats with Fault.links = fs.stats.Fault.links + 1 };
+                    note t ~kind:"link" ~detail:(Printf.sprintf "%d-%d" u v);
+                    reshape t ~remap:fs.fremap (Graph.of_edges ~ids ~n edges)
+                  end
+              | Drop _ | Duplicate _ | Reorder _ | Corrupt _ -> assert false);
+              go ()
+          | _ -> ()
+        in
+        go ()
+
   let corrupt t ?(fraction = 1.0) ?(channels = false) () =
     let n = Graph.n t.graph in
     let k = max 1 (int_of_float (Float.round (fraction *. float_of_int n))) in
@@ -175,6 +397,7 @@ module Make (A : Node.AUTOMATON) = struct
     List.length victims
 
   let step t =
+    apply_due_faults t;
     match Heap.pop t.heap with
     | None -> false
     | Some (time, { event; tag }) ->

@@ -18,10 +18,13 @@
     numbers. *)
 
 (** What an attached observer sees (message payloads are reduced to their
-    family label so observers remain protocol-generic). *)
+    family label so observers remain protocol-generic).  [Obs_fault] records
+    every action of an installed {!Fault.plan} — a trace always explains
+    what the adversary did. *)
 type observation =
   | Obs_tick of { node : int; round : int; time : float }
   | Obs_deliver of { src : int; dst : int; label : string; round : int; time : float }
+  | Obs_fault of { kind : string; detail : string; round : int; time : float }
 
 module Make (A : Node.AUTOMATON) : sig
   type t
@@ -79,17 +82,70 @@ module Make (A : Node.AUTOMATON) : sig
   val in_flight_exists : t -> (A.msg -> bool) -> bool
   (** Is any queued message satisfying the predicate still undelivered? *)
 
-  (** {1 Fault injection} *)
+  (** {1 Fault injection}
+
+      Ad-hoc primitives first; {!install_faults} interprets a declarative,
+      replayable {!Fault.plan} on top of them.  Plan-driven faults draw all
+      randomness from per-event streams ({!Fault.rng_for}), never from the
+      engine's own PRNG, so installing a plan leaves the fault-free part of
+      the execution byte-identical — experiment results do not shift when
+      fault or PBT draws are added. *)
 
   val set_state : t -> int -> A.state -> unit
 
   val corrupt : t -> ?fraction:float -> ?channels:bool -> unit -> int
   (** Replace the state of a random [fraction] (default 1.0) of nodes by
       [A.random_state], optionally also injecting random channel contents.
-      Returns the number of nodes hit. *)
+      Returns the number of nodes hit.  Draws from the engine's stream
+      (pre-dating the plan machinery; kept for experiment E4's replays). *)
 
   val inject : t -> src:int -> dst:int -> A.msg -> unit
   (** Force a message onto a channel (the endpoints must be adjacent). *)
+
+  val reset_node : t -> ?rng:Mdst_util.Prng.t -> [ `Init | `Random ] -> int -> unit
+  (** Crash-restart one node: reinstall its state via [A.init] or
+      [A.random_state].  [rng] (default: the engine's stream) feeds
+      [`Random] re-initialization.  In-flight messages are untouched; use
+      {!purge_channel} to model losing them. *)
+
+  val purge_channel : t -> src:int -> dst:int -> int
+  (** Drop every queued message on the ordered channel [src -> dst];
+      returns how many were lost. *)
+
+  val reshape :
+    t ->
+    ?remap:(old_graph:Mdst_graph.Graph.t -> new_graph:Mdst_graph.Graph.t -> A.state array -> A.state array) ->
+    Mdst_graph.Graph.t ->
+    unit
+  (** Replace the topology mid-run (same node count, must stay connected).
+      Messages in flight on vanished edges are lost; node contexts are
+      rebuilt (each node keeps its PRNG stream); [remap] re-homes the state
+      array onto the new topology (default: states carried over untouched —
+      protocol-specific carriers like [Mdst_core.Transplant.states] plug in
+      here).  @raise Invalid_argument on node-count mismatch or a
+      disconnected replacement. *)
+
+  val install_faults :
+    t ->
+    ?remap:(old_graph:Mdst_graph.Graph.t -> new_graph:Mdst_graph.Graph.t -> A.state array -> A.state array) ->
+    Fault.plan ->
+    unit
+  (** Interpret a {!Fault.plan} during subsequent execution: channel events
+      tamper with sends while their round window is open; scheduled events
+      (crash / cut / link) fire when {!step} first runs at or past their
+      round.  [remap] is used by topology events (see {!reshape}).
+      Replaces any previously installed plan. *)
+
+  val fault_stats : t -> Fault.stats
+  (** What the installed plan actually did so far (all-zero when no plan
+      is installed). *)
+
+  val faults_pending : t -> bool
+  (** Are scheduled events (crash / cut / link) of the installed plan still
+      waiting to fire?  Convergence checks must not declare victory while
+      this holds — a fault scheduled at round [r] fires when the engine
+      {e processes} an event at or past [r], which can be after a stop
+      predicate already ran at round [r]. *)
 
   (** {1 Observation hooks} *)
 

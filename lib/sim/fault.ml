@@ -1,0 +1,185 @@
+(* Fault plans as pure data.  The engine interprets them (see engine.ml);
+   this module only defines the shape, the per-event PRNG derivation and
+   the textual reproducer format. *)
+
+module Prng = Mdst_util.Prng
+
+type window = { from_round : int; upto_round : int }
+
+type mode = [ `Init | `Random ]
+
+type event =
+  | Drop of { window : window; src : int; dst : int; prob : float }
+  | Duplicate of { window : window; src : int; dst : int; prob : float; copies : int }
+  | Reorder of { window : window; src : int; dst : int; prob : float; delay : float }
+  | Corrupt of { window : window; src : int; dst : int; prob : float }
+  | Crash of { at_round : int; node : int; mode : mode }
+  | Cut of { at_round : int; u : int; v : int }
+  | Link of { at_round : int; u : int; v : int }
+
+type plan = { plan_seed : int; events : event list }
+
+let empty = { plan_seed = 0; events = [] }
+
+let is_empty plan = plan.events = []
+
+let last_fault_round plan =
+  List.fold_left
+    (fun acc ev ->
+      max acc
+        (match ev with
+        | Drop { window; _ } | Duplicate { window; _ } | Reorder { window; _ }
+        | Corrupt { window; _ } ->
+            window.upto_round
+        | Crash { at_round; _ } | Cut { at_round; _ } | Link { at_round; _ } -> at_round))
+    0 plan.events
+
+let nodes_mentioned plan =
+  List.concat_map
+    (function
+      | Drop { src; dst; _ } | Duplicate { src; dst; _ } | Reorder { src; dst; _ }
+      | Corrupt { src; dst; _ } ->
+          [ src; dst ]
+      | Crash { node; _ } -> [ node ]
+      | Cut { u; v; _ } | Link { u; v; _ } -> [ u; v ])
+    plan.events
+  |> List.sort_uniq compare
+
+(* The event's stream depends on its content, not its list position, so
+   shrinking (deleting sibling events) never shifts its decisions.
+   [Hashtbl.hash] is OCaml's deterministic structural hash. *)
+let rng_for plan event =
+  Prng.create (plan.plan_seed lxor (Hashtbl.hash event * 0x9e3779b9))
+
+type stats = {
+  drops : int;
+  duplicates : int;
+  reorders : int;
+  corruptions : int;
+  crashes : int;
+  cuts : int;
+  links : int;
+  skipped : int;
+}
+
+let zero_stats =
+  { drops = 0; duplicates = 0; reorders = 0; corruptions = 0; crashes = 0; cuts = 0;
+    links = 0; skipped = 0 }
+
+let total s = s.drops + s.duplicates + s.reorders + s.corruptions + s.crashes + s.cuts + s.links
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "drops=%d dups=%d reorders=%d corruptions=%d crashes=%d cuts=%d links=%d skipped=%d"
+    s.drops s.duplicates s.reorders s.corruptions s.crashes s.cuts s.links s.skipped
+
+(* ---------------- textual form ---------------- *)
+
+let string_of_float_compact f =
+  if Float.is_integer f && Float.abs f < 1e15 then string_of_int (int_of_float f)
+  else string_of_float f
+
+let window_to_string w = Printf.sprintf "%d-%d" w.from_round w.upto_round
+
+let event_to_string = function
+  | Drop { window; src; dst; prob } ->
+      Printf.sprintf "drop:%s:%d>%d:%s" (window_to_string window) src dst
+        (string_of_float_compact prob)
+  | Duplicate { window; src; dst; prob; copies } ->
+      Printf.sprintf "dup:%s:%d>%d:%s:%d" (window_to_string window) src dst
+        (string_of_float_compact prob) copies
+  | Reorder { window; src; dst; prob; delay } ->
+      Printf.sprintf "reorder:%s:%d>%d:%s:%s" (window_to_string window) src dst
+        (string_of_float_compact prob) (string_of_float_compact delay)
+  | Corrupt { window; src; dst; prob } ->
+      Printf.sprintf "corrupt:%s:%d>%d:%s" (window_to_string window) src dst
+        (string_of_float_compact prob)
+  | Crash { at_round; node; mode } ->
+      Printf.sprintf "crash:%d:%d:%s" at_round node
+        (match mode with `Init -> "init" | `Random -> "random")
+  | Cut { at_round; u; v } -> Printf.sprintf "cut:%d:%d-%d" at_round u v
+  | Link { at_round; u; v } -> Printf.sprintf "link:%d:%d-%d" at_round u v
+
+let fail fmt = Printf.ksprintf invalid_arg fmt
+
+let int_of s ~what =
+  match int_of_string_opt (String.trim s) with
+  | Some v -> v
+  | None -> fail "Fault.of_string: bad %s %S" what s
+
+let float_of s ~what =
+  match float_of_string_opt (String.trim s) with
+  | Some v -> v
+  | None -> fail "Fault.of_string: bad %s %S" what s
+
+let window_of s =
+  match String.split_on_char '-' s with
+  | [ a; b ] -> { from_round = int_of a ~what:"window start"; upto_round = int_of b ~what:"window end" }
+  | _ -> fail "Fault.of_string: bad window %S (want FROM-TO)" s
+
+let channel_of s =
+  match String.split_on_char '>' s with
+  | [ a; b ] -> (int_of a ~what:"src", int_of b ~what:"dst")
+  | _ -> fail "Fault.of_string: bad channel %S (want SRC>DST)" s
+
+let pair_of s =
+  match String.split_on_char '-' s with
+  | [ a; b ] -> (int_of a ~what:"endpoint", int_of b ~what:"endpoint")
+  | _ -> fail "Fault.of_string: bad edge %S (want U-V)" s
+
+let event_of_string s =
+  match String.split_on_char ':' (String.trim s) with
+  | "drop" :: w :: ch :: p :: [] ->
+      let src, dst = channel_of ch in
+      Drop { window = window_of w; src; dst; prob = float_of p ~what:"probability" }
+  | "dup" :: w :: ch :: p :: k :: [] ->
+      let src, dst = channel_of ch in
+      Duplicate
+        { window = window_of w; src; dst; prob = float_of p ~what:"probability";
+          copies = int_of k ~what:"copies" }
+  | "reorder" :: w :: ch :: p :: d :: [] ->
+      let src, dst = channel_of ch in
+      Reorder
+        { window = window_of w; src; dst; prob = float_of p ~what:"probability";
+          delay = float_of d ~what:"delay" }
+  | "corrupt" :: w :: ch :: p :: [] ->
+      let src, dst = channel_of ch in
+      Corrupt { window = window_of w; src; dst; prob = float_of p ~what:"probability" }
+  | "crash" :: r :: node :: mode :: [] ->
+      let mode =
+        match String.trim mode with
+        | "init" -> `Init
+        | "random" -> `Random
+        | m -> fail "Fault.of_string: bad crash mode %S (want init|random)" m
+      in
+      Crash { at_round = int_of r ~what:"round"; node = int_of node ~what:"node"; mode }
+  | "cut" :: r :: uv :: [] ->
+      let u, v = pair_of uv in
+      Cut { at_round = int_of r ~what:"round"; u; v }
+  | "link" :: r :: uv :: [] ->
+      let u, v = pair_of uv in
+      Link { at_round = int_of r ~what:"round"; u; v }
+  | kind :: _ -> fail "Fault.of_string: unknown event %S" kind
+  | [] -> fail "Fault.of_string: empty event"
+
+let to_string plan =
+  String.concat "|"
+    (Printf.sprintf "seed=%d" plan.plan_seed :: List.map event_to_string plan.events)
+
+let of_string s =
+  let parts =
+    List.filter (fun p -> String.trim p <> "") (String.split_on_char '|' (String.trim s))
+  in
+  let seed = ref 0 in
+  let events =
+    List.filter_map
+      (fun part ->
+        let part = String.trim part in
+        if String.length part >= 5 && String.sub part 0 5 = "seed=" then begin
+          seed := int_of (String.sub part 5 (String.length part - 5)) ~what:"plan seed";
+          None
+        end
+        else Some (event_of_string part))
+      parts
+  in
+  { plan_seed = !seed; events }

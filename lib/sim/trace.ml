@@ -9,6 +9,7 @@ type t = {
 
 let keep_protocol_only = function
   | Engine.Obs_deliver { label; _ } -> label <> "info"
+  | Engine.Obs_fault _ -> true
   | Engine.Obs_tick _ -> false
 
 let create ?(capacity = 4096) ?(keep = keep_protocol_only) () =
@@ -45,6 +46,9 @@ let counts_by_label t =
       match obs with
       | Engine.Obs_deliver { label; _ } ->
           Hashtbl.replace tbl label (1 + Option.value ~default:0 (Hashtbl.find_opt tbl label))
+      | Engine.Obs_fault { kind; _ } ->
+          let label = "fault:" ^ kind in
+          Hashtbl.replace tbl label (1 + Option.value ~default:0 (Hashtbl.find_opt tbl label))
       | Engine.Obs_tick _ -> ())
     (events t);
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
@@ -64,6 +68,9 @@ let render ?limit t =
       | Engine.Obs_deliver { src; dst; label; round; time } ->
           Buffer.add_string buf
             (Printf.sprintf "[round %5d | t=%8.1f] %-12s %d -> %d\n" round time label src dst)
+      | Engine.Obs_fault { kind; detail; round; time } ->
+          Buffer.add_string buf
+            (Printf.sprintf "[round %5d | t=%8.1f] fault:%-6s %s\n" round time kind detail)
       | Engine.Obs_tick { node; round; time } ->
           Buffer.add_string buf (Printf.sprintf "[round %5d | t=%8.1f] tick         %d\n" round time node))
     evs;

@@ -68,6 +68,24 @@ let clear t =
   t.size <- 0;
   t.next_seq <- 0
 
+let filter t keep =
+  (* Compact the surviving entries (keeping their original [seq], so FIFO
+     ties stay deterministic), then re-establish the heap shape. *)
+  let kept = ref 0 in
+  for i = 0 to t.size - 1 do
+    let e = t.data.(i) in
+    if keep e.prio e.value then begin
+      t.data.(!kept) <- e;
+      incr kept
+    end
+  done;
+  let removed = t.size - !kept in
+  t.size <- !kept;
+  for i = (t.size / 2) - 1 downto 0 do
+    sift_down t i
+  done;
+  removed
+
 let to_list t =
   let acc = ref [] in
   for i = t.size - 1 downto 0 do

@@ -25,3 +25,9 @@ val clear : 'a t -> unit
 
 val to_list : 'a t -> (float * 'a) list
 (** Snapshot in arbitrary heap order; used by tests and fault injection. *)
+
+val filter : 'a t -> (float -> 'a -> bool) -> int
+(** [filter t keep] removes every entry for which [keep prio value] is
+    false and returns how many were removed.  The relative order of
+    surviving equal-priority entries is preserved (fault injection purges
+    channels without perturbing FIFO determinism).  O(n log n). *)

@@ -1,0 +1,310 @@
+(* The fault-injection layer: engine semantics under a toy automaton,
+   exact-replay regressions for the real protocol, and the acceptance
+   self-check that the PBT harness catches a deliberately broken variant. *)
+
+module Graph = Mdst_graph.Graph
+module Gen = Mdst_graph.Gen
+module Node = Mdst_sim.Node
+module Fault = Mdst_sim.Fault
+module Prng = Mdst_util.Prng
+
+let check = Alcotest.(check bool)
+
+(* ---------------- toy automaton ----------------
+
+   Every tick each node sends a per-node strictly increasing counter to all
+   neighbours, so FIFO delivery is observable as monotonicity.  [boots]
+   marks how the state was (re)installed and [random_msg] returns a marker
+   value, so crash-restart and corruption are observable too. *)
+
+let corrupt_marker = 424242
+
+module Count = struct
+  type state = { boots : int; sent : int; from : (int * int) list (* src, value; newest first *) }
+
+  type msg = int
+
+  let name = "count"
+
+  let init _ = { boots = 0; sent = 0; from = [] }
+
+  let random_state _ _ = { boots = 999; sent = 0; from = [] }
+
+  let random_msg _ _ = Some corrupt_marker
+
+  let on_tick ctx st =
+    Array.iter (fun nb -> ctx.Node.send nb st.sent) ctx.Node.neighbors;
+    { st with sent = st.sent + 1 }
+
+  let on_message _ st ~src v = { st with from = (src, v) :: st.from }
+
+  let msg_label _ = "ping"
+
+  let msg_bits ~n:_ _ = 8
+
+  let state_bits ~n:_ _ = 8
+end
+
+module E = Mdst_sim.Engine.Make (Count)
+
+let path3 () = Graph.of_edges ~n:3 [ (0, 1); (1, 2) ]
+
+let run_with ?(graph = path3 ()) ?(init = `Clean) ?(rounds = 60) plan =
+  let e = E.create ~seed:17 ~init graph in
+  E.install_faults e (Fault.of_string plan);
+  ignore (E.run e ~max_rounds:rounds ~check_every:1 ~stop:(fun _ -> false) ());
+  e
+
+(* Arrival order (oldest first) of the values [dst] received from [src]. *)
+let received e ~src ~dst =
+  List.rev
+    (List.filter_map
+       (fun (s, v) -> if s = src then Some v else None)
+       (E.state e dst).Count.from)
+
+let rec strictly_increasing = function
+  | a :: (b :: _ as rest) -> a < b && strictly_increasing rest
+  | _ -> true
+
+(* ---------------- channel faults ---------------- *)
+
+let test_drop_everything () =
+  let e = run_with "seed=1|drop:0-100000:0>1:1" in
+  Alcotest.(check (list int)) "channel 0>1 silenced" [] (received e ~src:0 ~dst:1);
+  check "reverse channel alive" true (received e ~src:1 ~dst:0 <> []);
+  check "other channel alive" true (received e ~src:2 ~dst:1 <> []);
+  check "drops counted" true ((E.fault_stats e).Fault.drops > 0)
+
+let test_drop_window_closes () =
+  let e = run_with "seed=1|drop:0-10:0>1:1" in
+  let vals = received e ~src:0 ~dst:1 in
+  check "traffic resumes after the window" true (vals <> []);
+  check "earliest values lost inside the window" false (List.mem 0 vals)
+
+let test_duplicate () =
+  let base = run_with "seed=1" in
+  let e = run_with "seed=1|dup:0-100000:0>1:1:2" in
+  let vals = received e ~src:0 ~dst:1 in
+  check "more deliveries than the fault-free run" true
+    (List.length vals > List.length (received base ~src:0 ~dst:1));
+  check "some value delivered at least twice" true
+    (List.length vals > List.length (List.sort_uniq compare vals));
+  check "duplicates counted" true ((E.fault_stats e).Fault.duplicates > 0)
+
+let test_corrupt () =
+  let e = run_with "seed=1|corrupt:0-100000:0>1:1" in
+  let vals = received e ~src:0 ~dst:1 in
+  check "payloads replaced by random_msg" true
+    (vals <> [] && List.for_all (fun v -> v = corrupt_marker) vals);
+  check "other channel untouched" true
+    (List.for_all (fun v -> v <> corrupt_marker) (received e ~src:2 ~dst:1));
+  check "corruptions counted" true ((E.fault_stats e).Fault.corruptions > 0)
+
+let test_reorder_breaks_fifo () =
+  let e = run_with ~rounds:200 "seed=1|reorder:0-100000:0>1:0.5:8" in
+  check "reorders counted" true ((E.fault_stats e).Fault.reorders > 0);
+  check "FIFO violated on the tampered channel" false
+    (strictly_increasing (received e ~src:0 ~dst:1));
+  check "FIFO intact elsewhere" true (strictly_increasing (received e ~src:2 ~dst:1))
+
+(* ---------------- scheduled faults ---------------- *)
+
+let test_crash_reinit () =
+  let e = run_with ~init:`Random "seed=1|crash:5:1:init" in
+  Alcotest.(check int) "crashed node rebooted via init" 0 (E.state e 1).Count.boots;
+  Alcotest.(check int) "other nodes keep their adversarial state" 999 (E.state e 0).Count.boots;
+  Alcotest.(check int) "one crash" 1 (E.fault_stats e).Fault.crashes
+
+let test_cut_edge () =
+  let e = run_with ~graph:(Gen.ring 4) "seed=1|cut:3:0-1" in
+  check "edge removed" false (Graph.mem_edge (E.graph e) 0 1);
+  check "still connected" true (Mdst_graph.Algo.is_connected (E.graph e));
+  Alcotest.(check int) "one cut" 1 (E.fault_stats e).Fault.cuts
+
+let test_cut_bridge_skipped () =
+  let e = run_with "seed=1|cut:3:0-1" in
+  check "bridge survives" true (Graph.mem_edge (E.graph e) 0 1);
+  Alcotest.(check int) "no cut" 0 (E.fault_stats e).Fault.cuts;
+  Alcotest.(check int) "skip recorded" 1 (E.fault_stats e).Fault.skipped
+
+let test_link_edge () =
+  let e = run_with "seed=1|link:3:0-2" in
+  check "edge added" true (Graph.mem_edge (E.graph e) 0 2);
+  check "new channel carries traffic" true (received e ~src:2 ~dst:0 <> []);
+  Alcotest.(check int) "one link" 1 (E.fault_stats e).Fault.links
+
+let test_link_existing_skipped () =
+  let e = run_with "seed=1|link:3:0-1" in
+  Alcotest.(check int) "no link" 0 (E.fault_stats e).Fault.links;
+  Alcotest.(check int) "skip recorded" 1 (E.fault_stats e).Fault.skipped
+
+(* ---------------- observations, determinism, drift ---------------- *)
+
+let test_fault_observations () =
+  let graph = Gen.ring 4 in
+  let e = E.create ~seed:17 graph in
+  E.install_faults e (Fault.of_string "seed=1|drop:0-40:0>1:1|crash:5:2:init|cut:3:0-1|link:3:0-2|link:4:0-2");
+  let seen = ref 0 in
+  E.observe e (function Mdst_sim.Engine.Obs_fault _ -> incr seen | _ -> ());
+  ignore (E.run e ~max_rounds:60 ~check_every:1 ~stop:(fun _ -> false) ());
+  let s = E.fault_stats e in
+  Alcotest.(check int) "every fault action observed (skips included)"
+    (Fault.total s + s.Fault.skipped) !seen;
+  Alcotest.(check int) "second link skipped" 1 s.Fault.skipped
+
+let test_fault_determinism () =
+  let snapshot () =
+    let e = run_with ~graph:(Gen.ring 5) ~rounds:120 "seed=9|drop:0-50:0>1:0.5|crash:30:2:random|cut:10:0-1" in
+    Array.to_list (Array.map (fun (s : Count.state) -> s.Count.from) (E.states e))
+  in
+  check "same plan + seed, same execution" true (snapshot () = snapshot ())
+
+let test_empty_plan_no_drift () =
+  (* Installing a plan must not touch the engine's own PRNG: a plan whose
+     window never opens leaves the execution byte-identical. *)
+  let snapshot plan =
+    let e = E.create ~seed:23 ~init:`Random (Gen.ring 5) in
+    Option.iter (fun p -> E.install_faults e (Fault.of_string p)) plan;
+    ignore (E.run e ~max_rounds:80 ~check_every:1 ~stop:(fun _ -> false) ());
+    Array.to_list (Array.map (fun (s : Count.state) -> s.Count.from) (E.states e))
+  in
+  check "no plan vs empty plan" true (snapshot None = snapshot (Some "seed=5"));
+  check "no plan vs never-active plan" true
+    (snapshot None = snapshot (Some "seed=5|drop:500000-500001:0>1:1"))
+
+(* ---------------- ad-hoc primitives ---------------- *)
+
+let test_purge_channel () =
+  let e = E.create ~seed:3 (path3 ()) in
+  E.inject e ~src:0 ~dst:1 7;
+  E.inject e ~src:0 ~dst:1 8;
+  E.inject e ~src:1 ~dst:2 9;
+  Alcotest.(check int) "purged the ordered channel only" 2 (E.purge_channel e ~src:0 ~dst:1);
+  Alcotest.(check int) "idempotent" 0 (E.purge_channel e ~src:0 ~dst:1);
+  Alcotest.(check int) "other channel intact" 1 (E.purge_channel e ~src:1 ~dst:2)
+
+let test_reset_node () =
+  let e = E.create ~seed:3 (path3 ()) in
+  E.reset_node e `Random 1;
+  Alcotest.(check int) "random_state installed" 999 (E.state e 1).Count.boots;
+  E.reset_node e `Init 1;
+  Alcotest.(check int) "init reinstalled" 0 (E.state e 1).Count.boots
+
+let test_reshape () =
+  let e = E.create ~seed:3 (path3 ()) in
+  ignore (E.run e ~max_rounds:10 ~check_every:1 ~stop:(fun _ -> false) ());
+  E.reshape e (Graph.of_edges ~n:3 [ (0, 1); (1, 2); (0, 2) ]);
+  check "triangle installed" true (Graph.mem_edge (E.graph e) 0 2);
+  ignore (E.run e ~max_rounds:30 ~check_every:1 ~stop:(fun _ -> false) ());
+  check "new channel live after reshape" true (received e ~src:2 ~dst:0 <> []);
+  Alcotest.check_raises "node-count mismatch rejected"
+    (Invalid_argument "Engine.reshape: node count must be preserved") (fun () ->
+      E.reshape e (Gen.ring 4));
+  Alcotest.check_raises "disconnected replacement rejected"
+    (Invalid_argument "Engine.reshape: graph must stay connected") (fun () ->
+      E.reshape e (Graph.of_edges ~n:3 [ (0, 1) ]))
+
+(* ---------------- exact-replay regression matrix ----------------
+
+   Pinned end-to-end outcomes for the real protocol under fixed
+   (topology, plan, seed) triples.  Any change to the engine's event
+   ordering, the fault interpreter or the protocol shifts these numbers —
+   that is the point: fault executions must replay bit-identically. *)
+
+module C = Mdst_check.Convergence
+
+let matrix =
+  [
+    ( "ring8 drop+crash",
+      "n=8;edges=0-1,1-2,2-3,3-4,4-5,5-6,6-7,0-7;seed=5;plan=seed=2|drop:0-80:0>1:0.5|crash:60:3:random",
+      (* rounds, degree, drops+corruptions+cuts, crashes+reorders+links *)
+      (124, 2, 46, 1) );
+    ( "petersen cut+link",
+      "n=10;edges=0-1,1-2,2-3,3-4,0-4,0-5,1-6,2-7,3-8,4-9,5-7,7-9,9-6,6-8,8-5;seed=9;plan=seed=4|cut:40:0-1|link:90:0-2",
+      (284, 2, 1, 1) );
+    ( "grid9 corrupt+reorder",
+      "n=9;edges=0-1,1-2,3-4,4-5,6-7,7-8,0-3,3-6,1-4,4-7,2-5,5-8;seed=13;plan=seed=8|corrupt:0-60:4>1:0.75|reorder:0-120:1>4:0.5:6",
+      (174, 2, 56, 111) );
+  ]
+
+let test_fault_matrix () =
+  List.iter
+    (fun (label, case_line, (rounds, degree, a, b)) ->
+      let r = C.Default.run_case (C.case_of_string case_line) in
+      check (label ^ ": converged") true r.C.converged;
+      check (label ^ ": closure") true r.C.closure_ok;
+      Alcotest.(check int) (label ^ ": exact rounds") rounds r.C.rounds;
+      Alcotest.(check (option int)) (label ^ ": exact degree") (Some degree) r.C.degree;
+      Alcotest.(check int) (label ^ ": fault count a") a
+        (r.C.stats.Fault.drops + r.C.stats.Fault.corruptions + r.C.stats.Fault.cuts);
+      Alcotest.(check int) (label ^ ": fault count b") b
+        (r.C.stats.Fault.crashes + r.C.stats.Fault.reorders + r.C.stats.Fault.links))
+    matrix
+
+(* ---------------- acceptance: the harness catches a broken variant ---- *)
+
+let small_budget = { C.settle_rounds = 1500; per_node_rounds = 150; closure_rounds = 60 }
+
+let test_broken_variant_caught () =
+  let module P = Mdst_check.Property in
+  let property =
+    C.Broken.property ~budget:small_budget ~min_n:4 ~max_n:10 ~max_events:5 ~horizon:300 ()
+  in
+  match P.check ~tests:20 ~seed:7 property with
+  | P.Passed _ -> Alcotest.fail "grant-dropping variant must be falsified"
+  | P.Falsified c ->
+      let case = C.case_of_string c.P.printed in
+      check "shrunk to at most 8 nodes" true (Graph.n case.C.graph <= 8);
+      check "shrunk to at most 5 fault events" true
+        (List.length case.C.plan.Fault.events <= 5);
+      (* The printed reproducer replays to the same verdict from its seed. *)
+      (match C.Broken.prop ~budget:small_budget () case with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "reproducer did not replay the failure");
+      (* The real protocol is fine on the very same case. *)
+      match C.Default.prop ~budget:small_budget () case with
+      | Ok () -> ()
+      | Error reason -> Alcotest.fail ("real protocol failed the shrunk case: " ^ reason)
+
+let test_honest_protocol_passes () =
+  let module P = Mdst_check.Property in
+  let property = C.Default.property ~min_n:4 ~max_n:9 ~max_events:4 ~horizon:250 () in
+  match P.check ~tests:15 ~seed:7 property with
+  | P.Passed _ -> ()
+  | P.Falsified c -> Alcotest.fail (P.render ~name:property.P.name c)
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "channel",
+        [
+          Alcotest.test_case "drop everything" `Quick test_drop_everything;
+          Alcotest.test_case "drop window closes" `Quick test_drop_window_closes;
+          Alcotest.test_case "duplicate" `Quick test_duplicate;
+          Alcotest.test_case "corrupt" `Quick test_corrupt;
+          Alcotest.test_case "reorder breaks fifo" `Quick test_reorder_breaks_fifo;
+        ] );
+      ( "scheduled",
+        [
+          Alcotest.test_case "crash reinit" `Quick test_crash_reinit;
+          Alcotest.test_case "cut edge" `Quick test_cut_edge;
+          Alcotest.test_case "cut bridge skipped" `Quick test_cut_bridge_skipped;
+          Alcotest.test_case "link edge" `Quick test_link_edge;
+          Alcotest.test_case "link existing skipped" `Quick test_link_existing_skipped;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "fault observations" `Quick test_fault_observations;
+          Alcotest.test_case "determinism" `Quick test_fault_determinism;
+          Alcotest.test_case "empty plan no drift" `Quick test_empty_plan_no_drift;
+          Alcotest.test_case "purge channel" `Quick test_purge_channel;
+          Alcotest.test_case "reset node" `Quick test_reset_node;
+          Alcotest.test_case "reshape" `Quick test_reshape;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "exact-replay fault matrix" `Quick test_fault_matrix;
+          Alcotest.test_case "broken variant caught + shrunk" `Slow test_broken_variant_caught;
+          Alcotest.test_case "honest protocol passes" `Slow test_honest_protocol_passes;
+        ] );
+    ]

@@ -459,6 +459,32 @@ let test_io_rejects_malformed () =
   check "bad edge" true (rejects "n 3\n0 x\n");
   check "junk line" true (rejects "n 3\nhello world extra\n")
 
+let prop_io_roundtrip_random =
+  QCheck.Test.make ~name:"io roundtrip on random shuffled-id graphs" ~count:150
+    QCheck.(pair small_int (int_range 4 20))
+    (fun (seed, n) ->
+      let r = Prng.create seed in
+      let g =
+        Gen.with_random_ids (Prng.split r)
+          (Gen.random_connected (Prng.split r) ~n ~m:(n - 1 + (n / 3)))
+      in
+      Graph.equal g (Mdst_graph.Io.of_string (Mdst_graph.Io.to_string g)))
+
+let prop_random_ids_preserve_structure =
+  QCheck.Test.make ~name:"with_random_ids keeps n, m and adjacency" ~count:150
+    QCheck.(pair small_int (int_range 4 20))
+    (fun (seed, n) ->
+      let r = Prng.create seed in
+      let g = Gen.erdos_renyi_connected (Prng.split r) ~n ~p:0.4 in
+      let g' = Gen.with_random_ids (Prng.split r) g in
+      Graph.n g' = n
+      && Graph.m g' = Graph.m g
+      && List.for_all
+           (fun (u, v) -> Graph.mem_edge g' u v)
+           (Array.to_list (Graph.edges g))
+      && List.sort compare (List.init n (Graph.id g'))
+         = List.sort compare (List.init n (Graph.id g)))
+
 let test_io_file_roundtrip () =
   let g = Gen.petersen () in
   let path = Filename.temp_file "mdst" ".graph" in
@@ -565,6 +591,8 @@ let () =
           Alcotest.test_case "comments" `Quick test_io_parses_comments;
           Alcotest.test_case "rejects malformed" `Quick test_io_rejects_malformed;
           Alcotest.test_case "file roundtrip" `Quick test_io_file_roundtrip;
+          q prop_io_roundtrip_random;
+          q prop_random_ids_preserve_structure;
         ] );
       ( "props",
         [

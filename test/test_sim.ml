@@ -289,7 +289,8 @@ let test_engine_observer () =
     | Mdst_sim.Engine.Obs_tick _ -> incr ticks
     | Mdst_sim.Engine.Obs_deliver { label; _ } ->
         Alcotest.(check string) "label" "flood" label;
-        incr delivers);
+        incr delivers
+    | Mdst_sim.Engine.Obs_fault _ -> Alcotest.fail "no faults installed");
   for _ = 1 to 400 do
     ignore (FloodEngine.step e)
   done;

@@ -123,6 +123,31 @@ let test_seed_of_string_stable () =
   check "different strings differ" true
     (Prng.seed_of_string "hello" <> Prng.seed_of_string "world")
 
+(* Pinned FNV-1a values: experiment seeds are derived from these strings,
+   so a silent change here silently changes every named workload. *)
+let test_seed_of_string_golden () =
+  List.iter
+    (fun (s, want) -> Alcotest.(check int) s want (Prng.seed_of_string s))
+    [
+      ("", -3750763034362895579);
+      ("hello", 2607821981565500683);
+      ("mdst", 4066404816837655011);
+      ("E1", 647105507010916579);
+      ("convergence", 1183647922022721582);
+    ]
+
+let test_prng_split_1k_distinct () =
+  (* Fan-out experiments hand every worker a split child; a colliding pair
+     would silently run two "independent" samples on the same stream. *)
+  let parent = Prng.create 20090525 in
+  let streams =
+    List.init 1000 (fun _ ->
+        let c = Prng.split parent in
+        List.init 4 (fun _ -> Prng.bits64 c))
+  in
+  Alcotest.(check int) "1000 pairwise-distinct child streams" 1000
+    (List.length (List.sort_uniq compare streams))
+
 (* ---------------- Heap ---------------- *)
 
 let test_heap_basic () =
@@ -149,6 +174,23 @@ let test_heap_clear () =
   Heap.push h ~prio:1.0 1;
   Heap.clear h;
   check "cleared" true (Heap.is_empty h)
+
+let test_heap_filter () =
+  let h = Heap.create () in
+  List.iteri (fun i p -> Heap.push h ~prio:p (string_of_int i)) [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  let removed = Heap.filter h (fun prio _ -> prio < 3.5) in
+  Alcotest.(check int) "removed count" 2 removed;
+  Alcotest.(check int) "length after" 3 (Heap.length h);
+  let rec drain acc = match Heap.pop h with None -> List.rev acc | Some (_, v) -> drain (v :: acc) in
+  Alcotest.(check (list string)) "survivors in priority order" [ "1"; "3"; "2" ] (drain [])
+
+let test_heap_filter_keeps_fifo () =
+  let h = Heap.create () in
+  List.iter (fun s -> Heap.push h ~prio:1.0 s) [ "a"; "drop"; "b"; "drop"; "c" ];
+  let removed = Heap.filter h (fun _ v -> v <> "drop") in
+  Alcotest.(check int) "removed" 2 removed;
+  let rec drain acc = match Heap.pop h with None -> List.rev acc | Some (_, v) -> drain (v :: acc) in
+  Alcotest.(check (list string)) "tie order preserved across filter" [ "a"; "b"; "c" ] (drain [])
 
 let test_heap_to_list () =
   let h = Heap.create () in
@@ -254,6 +296,8 @@ let () =
           Alcotest.test_case "exponential positive" `Quick test_exponential_positive;
           Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
           Alcotest.test_case "seed_of_string stable" `Quick test_seed_of_string_stable;
+          Alcotest.test_case "seed_of_string golden" `Quick test_seed_of_string_golden;
+          Alcotest.test_case "split: 1000 children distinct" `Quick test_prng_split_1k_distinct;
           q prop_shuffle_is_permutation;
           q prop_sample_without_replacement;
         ] );
@@ -262,6 +306,8 @@ let () =
           Alcotest.test_case "basic order" `Quick test_heap_basic;
           Alcotest.test_case "fifo on ties" `Quick test_heap_fifo_on_ties;
           Alcotest.test_case "clear" `Quick test_heap_clear;
+          Alcotest.test_case "filter" `Quick test_heap_filter;
+          Alcotest.test_case "filter keeps fifo ties" `Quick test_heap_filter_keeps_fifo;
           Alcotest.test_case "to_list snapshot" `Quick test_heap_to_list;
           q prop_heap_sorts;
           q prop_heap_grows;
