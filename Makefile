@@ -3,7 +3,7 @@
 DUNE ?= dune
 SIM   = $(DUNE) exec bin/mdst_sim.exe --
 
-.PHONY: all build test pbt pbt-long bench clean
+.PHONY: all build test pbt pbt-long bench bench-json clean
 
 all: build
 
@@ -27,6 +27,10 @@ pbt-long: build
 
 bench: build
 	$(DUNE) exec bench/main.exe
+
+# Engine macro-benchmarks (experiment E19): the tracked perf trajectory.
+bench-json: build
+	$(SIM) bench --out BENCH_engine.json
 
 clean:
 	$(DUNE) clean

@@ -1,8 +1,9 @@
 (* Benchmark binary.
 
    Part 1 regenerates every table and figure of EXPERIMENTS.md (experiments
-   E1..E17) through the analysis harness — `--quick` shrinks sizes/seeds,
-   `--only E3` selects one experiment.
+   E1..E19) through the analysis harness — `--quick` shrinks sizes/seeds,
+   `--only E3` selects one experiment, `--bench-json FILE` additionally
+   persists the E19 engine macro-bench points as JSON.
 
    Part 2 runs Bechamel micro-benchmarks of the hot substrate paths (one
    Test.make per experiment family plus the primitives they lean on), so
@@ -151,8 +152,13 @@ let () =
   let quick = Array.exists (( = ) "--quick") Sys.argv in
   let skip_micro = Array.exists (( = ) "--skip-micro") Sys.argv in
   let only = ref None in
+  let bench_json = ref None in
   Array.iteri
-    (fun i a -> if a = "--only" && i + 1 < Array.length Sys.argv then only := Some Sys.argv.(i + 1))
+    (fun i a ->
+      if i + 1 < Array.length Sys.argv then begin
+        if a = "--only" then only := Some Sys.argv.(i + 1);
+        if a = "--bench-json" then bench_json := Some Sys.argv.(i + 1)
+      end)
     Sys.argv;
   (match !only with
   | Some id ->
@@ -162,4 +168,12 @@ let () =
   | None ->
       print_endline "######## Experiment suite (EXPERIMENTS.md tables & figures) ########";
       Mdst_analysis.Registry.run_all ~quick ());
+  (match !bench_json with
+  | Some path ->
+      (* The E19 macro-bench points, re-measured and persisted: the same
+         payload `mdst_sim bench` writes, honoring --quick. *)
+      let points = Mdst_analysis.Bench_engine.points ~quick () in
+      Mdst_analysis.Bench_engine.write_json ~path ~quick points;
+      Printf.printf "wrote %s (%d points)\n%!" path (List.length points)
+  | None -> ());
   if not skip_micro then run_micro ()

@@ -4,6 +4,7 @@
      run          simulate the self-stabilizing MDST protocol on one graph
      solve        compare FR / exact / naive baselines on one graph
      experiments  regenerate the tables and figures of EXPERIMENTS.md
+     bench        engine macro-benchmarks; writes BENCH_engine.json
      families     list the available graph families and named workloads *)
 
 open Cmdliner
@@ -235,7 +236,7 @@ let props_cmd =
 let experiments_cmd =
   let quick_arg = Arg.(value & flag & info [ "quick" ] ~doc:"Small sizes and fewer seeds.") in
   let only_arg =
-    Arg.(value & opt (some string) None & info [ "only" ] ~docv:"ID" ~doc:"Run a single experiment (E1..E17).")
+    Arg.(value & opt (some string) None & info [ "only" ] ~docv:"ID" ~doc:"Run a single experiment (E1..E19).")
   in
   let csv_arg =
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc:"Also write every table as CSV under $(docv).")
@@ -256,6 +257,29 @@ let experiments_cmd =
   let term = Term.(const action $ quick_arg $ only_arg $ csv_arg) in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Regenerate every table and figure of EXPERIMENTS.md.")
+    term
+
+(* ---- bench ---- *)
+
+let bench_cmd =
+  let quick_arg =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Small sizes and a reduced event budget (CI smoke).")
+  in
+  let out_arg =
+    Arg.(value & opt string "BENCH_engine.json"
+         & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the JSON benchmark points.")
+  in
+  let action quick out =
+    let module B = Mdst_analysis.Bench_engine in
+    let points = B.points ~quick () in
+    Mdst_analysis.Table.print (B.table points);
+    B.write_json ~path:out ~quick points;
+    Printf.printf "wrote %s (%d points)\n" out (List.length points)
+  in
+  let term = Term.(const action $ quick_arg $ out_arg) in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:"Engine macro-benchmarks (experiment E19): events/sec and live engine memory at n up to 2048.  Writes the repository's tracked perf trajectory, BENCH_engine.json.")
     term
 
 (* ---- pbt ---- *)
@@ -383,4 +407,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; solve_cmd; compare_cmd; props_cmd; experiments_cmd; pbt_cmd; families_cmd ]))
+          [ run_cmd; solve_cmd; compare_cmd; props_cmd; experiments_cmd; bench_cmd; pbt_cmd; families_cmd ]))

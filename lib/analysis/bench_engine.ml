@@ -1,0 +1,122 @@
+(* E19 — engine macro-benchmarks.
+
+   Measures the async engine at production scale (n up to 2048): events per
+   second of a fault-free clean-start protocol run and the live-heap
+   footprint of the engine, on ER (avg deg 4) and grid topologies.  This is
+   the persistent perf trajectory: `mdst_sim bench` (and `make bench-json`)
+   serialize these points to BENCH_engine.json so regressions in the
+   delivery hot path or the memory model are visible across commits.
+
+   The workload is the real protocol from a clean start — tree
+   construction, gossip and search traffic all exercise the send/deliver
+   path — stepped for a fixed event budget rather than to convergence, so
+   the measure stays O(budget) at every size. *)
+
+module Graph = Mdst_graph.Graph
+module Gen = Mdst_graph.Gen
+module Prng = Mdst_util.Prng
+module Run = Mdst_core.Run
+
+type point = {
+  topology : string;
+  n : int;
+  m : int;
+  events : int;  (** engine events processed during the timed window *)
+  elapsed_s : float;
+  events_per_sec : float;
+  engine_bytes : int;  (** live-heap delta attributable to engine + run *)
+}
+
+let sizes ~quick = if quick then [ 64; 256 ] else [ 64; 256; 1024; 2048 ]
+
+let event_budget ~quick = if quick then 20_000 else 200_000
+
+let graph_for topology n =
+  match topology with
+  | "er" ->
+      let p = 4.0 /. float_of_int (n - 1) in
+      Gen.erdos_renyi_connected (Prng.create (0xbe2c lxor n)) ~n ~p
+  | "grid" -> Gen.by_name "grid" (Prng.create (0xbe2c lxor n)) ~n
+  | other -> invalid_arg (Printf.sprintf "Bench_engine.graph_for: unknown topology %S" other)
+
+let live_bytes () =
+  Gc.full_major ();
+  (Gc.stat ()).Gc.live_words * (Sys.word_size / 8)
+
+let bench_point ~topology ~events graph =
+  let before = live_bytes () in
+  let engine = Run.make_engine ~seed:11 ~init:`Clean graph in
+  let t0 = Unix.gettimeofday () in
+  let stepped = ref 0 in
+  while !stepped < events && Run.Engine.step engine do
+    incr stepped
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let after = live_bytes () in
+  ignore (Sys.opaque_identity engine);
+  {
+    topology;
+    n = Graph.n graph;
+    m = Graph.m graph;
+    events = !stepped;
+    elapsed_s = elapsed;
+    events_per_sec =
+      (if elapsed > 0.0 then float_of_int !stepped /. elapsed else 0.0);
+    engine_bytes = max 0 (after - before);
+  }
+
+let points ?(quick = false) () =
+  let events = event_budget ~quick in
+  List.concat_map
+    (fun topology ->
+      List.map
+        (fun n -> bench_point ~topology ~events (graph_for topology n))
+        (sizes ~quick))
+    [ "er"; "grid" ]
+
+let table pts =
+  let t =
+    Table.make ~title:"E19: engine macro-benchmarks (fault-free protocol, clean start)"
+      ~columns:[ "topology"; "n"; "m"; "events"; "events/s"; "engine MB" ]
+  in
+  List.iter
+    (fun p ->
+      Table.add_row t
+        [
+          p.topology;
+          Table.cell_int p.n;
+          Table.cell_int p.m;
+          Table.cell_int p.events;
+          Table.cell_float ~decimals:0 p.events_per_sec;
+          Table.cell_float ~decimals:2 (float_of_int p.engine_bytes /. 1e6);
+        ])
+    pts;
+  Table.add_note t
+    "engine MB = live-heap delta of engine + run (sparse FIFO floors: O(n + m), no n^2 matrix)";
+  t
+
+let run ?(quick = false) () = [ table (points ~quick ()) ]
+
+(* Hand-rolled writer: the schema is flat and the toolchain carries no JSON
+   dependency.  [%.17g] round-trips every float exactly. *)
+let to_json ?(quick = false) pts =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\n  \"schema\": \"mdst-bench-engine/1\",\n  \"quick\": %b,\n  \"points\": [\n"
+       quick);
+  List.iteri
+    (fun i p ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"topology\": %S, \"n\": %d, \"m\": %d, \"events\": %d, \
+            \"elapsed_s\": %.17g, \"events_per_sec\": %.1f, \"engine_bytes\": %d}%s\n"
+           p.topology p.n p.m p.events p.elapsed_s p.events_per_sec p.engine_bytes
+           (if i = List.length pts - 1 then "" else ",")))
+    pts;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+let write_json ~path ?(quick = false) pts =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (to_json ~quick pts))

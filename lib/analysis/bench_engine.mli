@@ -1,0 +1,29 @@
+(** E19 — engine macro-benchmarks: events/sec and live memory of the async
+    engine at n up to 2048, on ER (avg deg 4) and grid topologies.  The
+    points feed BENCH_engine.json (via [mdst_sim bench] / [make bench-json])
+    — the repository's tracked perf trajectory. *)
+
+type point = {
+  topology : string;  (** "er" or "grid" *)
+  n : int;
+  m : int;
+  events : int;  (** engine events processed during the timed window *)
+  elapsed_s : float;
+  events_per_sec : float;
+  engine_bytes : int;
+      (** live-heap delta attributable to the engine and its run — with the
+          sparse FIFO-floor representation this is O(n + m + in-flight). *)
+}
+
+val points : ?quick:bool -> unit -> point list
+(** Quick mode: n in 64, 256 with a 20k-event budget (CI smoke); full mode
+    adds 1024 and 2048 with 200k events per point. *)
+
+val table : point list -> Table.t
+
+val run : ?quick:bool -> unit -> Table.t list
+(** Registry entry point (experiment E19). *)
+
+val to_json : ?quick:bool -> point list -> string
+
+val write_json : path:string -> ?quick:bool -> point list -> unit

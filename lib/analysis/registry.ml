@@ -113,6 +113,12 @@ let all =
       claim = "Conclusion: a direct answer to the open problem — bounded disruption on link failure";
       run = Exp_super.run;
     };
+    {
+      id = "E19";
+      title = "Engine macro-benchmarks (n up to 2048)";
+      claim = "ROADMAP: the simulator scales to thousands of nodes — O(n+m) engine memory, tracked events/sec";
+      run = Bench_engine.run;
+    };
   ]
 
 let find id =

@@ -3,7 +3,7 @@
     this list. *)
 
 type entry = {
-  id : string;  (** "E1" .. "E17" *)
+  id : string;  (** "E1" .. "E17", "E19" (E18 is the PBT harness, run via [mdst_sim pbt]) *)
   title : string;
   claim : string;  (** the paper statement the experiment checks *)
   run : ?quick:bool -> unit -> Table.t list;

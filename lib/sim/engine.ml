@@ -16,12 +16,14 @@ module Make (A : Node.AUTOMATON) = struct
 
   type tagged = { event : event; tag : int }
 
-  (* An installed Fault.plan, split into the channel events (consulted on
-     every send) and the scheduled events (a round-ordered queue).  Each
-     event carries its private PRNG stream so decisions never touch the
-     engine's stream and survive deletion of sibling events (shrinking). *)
+  (* An installed Fault.plan.  Channel events are indexed by ordered channel
+     ([src * n + dst]) so a send on an untampered channel costs one hash
+     lookup and no list scan; scheduled events form a round-ordered queue.
+     Each event carries its private PRNG stream so decisions never touch
+     the engine's stream and survive deletion of sibling events
+     (shrinking). *)
   type faults = {
-    channel : (Fault.event * Prng.t) list;  (* in plan order *)
+    by_channel : (int, (Fault.event * Prng.t) list) Hashtbl.t;  (* in plan order *)
     mutable pending : (int * Fault.event * Prng.t) list;  (* sorted by round *)
     fremap : old_graph:Graph.t -> new_graph:Graph.t -> A.state array -> A.state array;
     mutable stats : Fault.stats;
@@ -35,7 +37,11 @@ module Make (A : Node.AUTOMATON) = struct
     states : A.state array;
     ctxs : A.msg Node.ctx array;
     heap : tagged Heap.t;
-    last_arrival : float array array;  (* per ordered pair, FIFO floor *)
+    mutable fifo_floor : float array array;
+        (* fifo_floor.(src).(k): FIFO floor of the channel from [src] to its
+           k-th neighbour (same order as [Graph.neighbors]).  O(n + m) in
+           total — the engine holds no per-ordered-pair structure — and
+           rebuilt by [reshape], carrying the floors of surviving edges. *)
     metrics : Metrics.t;
     mutable now : float;
     mutable round : int;
@@ -50,86 +56,97 @@ module Make (A : Node.AUTOMATON) = struct
     | `Random
     | `Custom of A.msg Node.ctx -> Prng.t -> A.state ]
 
+  (* [detail] is a thunk: fault labels are only materialized when a fault
+     actually fires AND someone is listening. *)
   let note t ~kind ~detail =
     match t.observer with
-    | Some f -> f (Obs_fault { kind; detail; round = t.round; time = t.now })
+    | Some f -> f (Obs_fault { kind; detail = detail (); round = t.round; time = t.now })
     | None -> ()
 
-  (* [extra_delay = Some d] bypasses the FIFO floor: the delayed message may
-     be overtaken by later sends on the same channel (reorder faults). *)
-  let enqueue_raw t ?extra_delay ~src ~dst msg =
-    let lat = Latency.sample t.latency t.rng ~src ~dst in
+  (* Slot of [dst] in the sorted neighbour array of [src]; the channel's
+     FIFO floor lives at that slot. *)
+  let slot_in graph src dst =
+    let nbs = Graph.neighbors graph src in
+    let lo = ref 0 and hi = ref (Array.length nbs - 1) in
+    let found = ref (-1) in
+    while !found < 0 && !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let v = Array.unsafe_get nbs mid in
+      if v = dst then found := mid else if v < dst then lo := mid + 1 else hi := mid - 1
+    done;
+    if !found < 0 then
+      invalid_arg (Printf.sprintf "Engine: %d -> %d is not a channel" src dst);
+    !found
+
+  let fresh_floors graph =
+    Array.init (Graph.n graph) (fun u -> Array.make (Graph.degree graph u) neg_infinity)
+
+  (* [rng] (default: the engine's stream) feeds the latency draw; fault
+     primitives pass their own stream so they do not shift the fault-free
+     schedule. *)
+  let enqueue_raw t ?extra_delay ?rng ~src ~dst msg =
+    let rng = match rng with Some r -> r | None -> t.rng in
+    let lat = Latency.sample t.latency rng ~src ~dst in
     let arrival =
       match extra_delay with
       | None ->
-          let a = max (t.now +. lat) (t.last_arrival.(src).(dst) +. fifo_epsilon) in
-          t.last_arrival.(src).(dst) <- a;
+          let floors = t.fifo_floor.(src) in
+          let k = slot_in t.graph src dst in
+          let a = max (t.now +. lat) (floors.(k) +. fifo_epsilon) in
+          floors.(k) <- a;
           a
+      (* [extra_delay = Some d] bypasses the FIFO floor: the delayed message
+         may be overtaken by later sends on the same channel (reorder
+         faults). *)
       | Some d -> t.now +. lat +. d
     in
     Metrics.record_send t.metrics ~label:(A.msg_label msg)
       ~bits:(A.msg_bits ~n:(Graph.n t.graph) msg);
     Heap.push t.heap ~prio:arrival { event = Deliver { src; dst; msg }; tag = t.current_tag + 1 }
 
-  (* The first channel event whose channel and round window match — and
-     whose coin comes up — decides the fate of the message. *)
-  let enqueue t ~src ~dst msg =
-    let applicable ev =
-      match (ev : Fault.event) with
-      | Drop f -> f.src = src && f.dst = dst && f.window.from_round <= t.round && t.round <= f.window.upto_round
-      | Duplicate f ->
-          f.src = src && f.dst = dst && f.window.from_round <= t.round && t.round <= f.window.upto_round
-      | Reorder f ->
-          f.src = src && f.dst = dst && f.window.from_round <= t.round && t.round <= f.window.upto_round
-      | Corrupt f ->
-          f.src = src && f.dst = dst && f.window.from_round <= t.round && t.round <= f.window.upto_round
-      | Crash _ | Cut _ | Link _ -> false
-    in
-    let chan = Printf.sprintf "%d>%d" src dst in
-    let rec decide = function
-      | [] -> enqueue_raw t ~src ~dst msg
-      | (ev, rng) :: rest ->
-          if not (applicable ev) then decide rest
-          else begin
+  let in_window (w : Fault.window) round = w.from_round <= round && round <= w.upto_round
+
+  (* The first channel event whose round window is open — and whose coin
+     comes up — decides the fate of the message.  Only events installed for
+     this exact ordered channel are consulted (see [install_faults]). *)
+  let enqueue ?rng t ~src ~dst msg =
+    let tamper fs events =
+      let chan () = Printf.sprintf "%d>%d" src dst in
+      let rec decide = function
+        | [] -> enqueue_raw t ?rng ~src ~dst msg
+        | (ev, erng) :: rest -> (
             match (ev : Fault.event) with
-            | Drop f when Prng.bernoulli rng f.prob ->
-                (match t.faults with
-                | Some fs -> fs.stats <- { fs.stats with Fault.drops = fs.stats.Fault.drops + 1 }
-                | None -> ());
+            | Drop f when in_window f.window t.round && Prng.bernoulli erng f.prob ->
+                fs.stats <- { fs.stats with Fault.drops = fs.stats.Fault.drops + 1 };
                 note t ~kind:"drop" ~detail:chan
-            | Duplicate f when Prng.bernoulli rng f.prob ->
-                (match t.faults with
-                | Some fs ->
-                    fs.stats <- { fs.stats with Fault.duplicates = fs.stats.Fault.duplicates + 1 }
-                | None -> ());
-                note t ~kind:"dup" ~detail:(Printf.sprintf "%s x%d" chan f.copies);
+            | Duplicate f when in_window f.window t.round && Prng.bernoulli erng f.prob ->
+                fs.stats <- { fs.stats with Fault.duplicates = fs.stats.Fault.duplicates + 1 };
+                note t ~kind:"dup" ~detail:(fun () -> Printf.sprintf "%s x%d" (chan ()) f.copies);
                 for _ = 0 to f.copies do
-                  enqueue_raw t ~src ~dst msg
+                  enqueue_raw t ?rng ~src ~dst msg
                 done
-            | Reorder f when Prng.bernoulli rng f.prob ->
-                (match t.faults with
-                | Some fs ->
-                    fs.stats <- { fs.stats with Fault.reorders = fs.stats.Fault.reorders + 1 }
-                | None -> ());
+            | Reorder f when in_window f.window t.round && Prng.bernoulli erng f.prob ->
+                fs.stats <- { fs.stats with Fault.reorders = fs.stats.Fault.reorders + 1 };
                 note t ~kind:"reorder" ~detail:chan;
-                enqueue_raw t ~extra_delay:(Prng.float rng f.delay) ~src ~dst msg
-            | Corrupt f when Prng.bernoulli rng f.prob -> (
-                match A.random_msg t.ctxs.(src) rng with
+                enqueue_raw t ~extra_delay:(Prng.float erng f.delay) ?rng ~src ~dst msg
+            | Corrupt f when in_window f.window t.round && Prng.bernoulli erng f.prob -> (
+                match A.random_msg t.ctxs.(src) erng with
                 | Some msg' ->
-                    (match t.faults with
-                    | Some fs ->
-                        fs.stats <-
-                          { fs.stats with Fault.corruptions = fs.stats.Fault.corruptions + 1 }
-                    | None -> ());
+                    fs.stats <-
+                      { fs.stats with Fault.corruptions = fs.stats.Fault.corruptions + 1 };
                     note t ~kind:"corrupt" ~detail:chan;
-                    enqueue_raw t ~src ~dst msg'
+                    enqueue_raw t ?rng ~src ~dst msg'
                 | None -> decide rest)
-            | _ -> decide rest
-          end
+            | _ -> decide rest)
+      in
+      decide events
     in
     match t.faults with
-    | None -> enqueue_raw t ~src ~dst msg
-    | Some fs -> decide fs.channel
+    | None -> enqueue_raw t ?rng ~src ~dst msg
+    | Some fs -> (
+        match Hashtbl.find_opt fs.by_channel ((src * Graph.n t.graph) + dst) with
+        | None -> enqueue_raw t ?rng ~src ~dst msg
+        | Some events -> tamper fs events)
 
   let make_ctx t i =
     let neighbors = Graph.neighbors t.graph i in
@@ -164,7 +181,7 @@ module Make (A : Node.AUTOMATON) = struct
         states = Array.make n (Obj.magic 0);
         ctxs = Array.make n (Obj.magic 0);
         heap = Heap.create ~capacity:(4 * n) ();
-        last_arrival = Array.make_matrix n n neg_infinity;
+        fifo_floor = fresh_floors graph;
         metrics = Metrics.create ();
         now = 0.0;
         round = 0;
@@ -235,18 +252,23 @@ module Make (A : Node.AUTOMATON) = struct
 
   let unobserve t = t.observer <- None
 
-  let inject t ~src ~dst msg =
+  let inject_with ?rng t ~src ~dst msg =
     if not (Graph.mem_edge t.graph src dst) then invalid_arg "Engine.inject: not adjacent";
     let saved = t.current_tag in
     t.current_tag <- t.round;
-    enqueue t ~src ~dst msg;
+    enqueue ?rng t ~src ~dst msg;
     t.current_tag <- saved
+
+  let inject t ~src ~dst msg = inject_with t ~src ~dst msg
 
   let reset_node t ?rng mode i =
     let rng = match rng with Some r -> r | None -> t.rng in
     t.states.(i) <-
       (match mode with `Init -> A.init t.ctxs.(i) | `Random -> A.random_state t.ctxs.(i) rng)
 
+  (* Queued messages are lost; the channel's FIFO floor is deliberately
+     KEPT (see engine.mli): later traffic stays ordered after the lost
+     messages' arrival times, as on a real FIFO link that lost content. *)
   let purge_channel t ~src ~dst =
     Heap.filter t.heap (fun _ { event; _ } ->
         match event with
@@ -265,6 +287,16 @@ module Make (A : Node.AUTOMATON) = struct
            match event with
            | Deliver { src; dst; _ } -> Graph.mem_edge new_graph src dst
            | Tick _ -> true));
+    (* Surviving channels keep their FIFO floor; new channels (and re-added
+       ones — their in-flight messages died with the edge) start fresh. *)
+    let old_floors = t.fifo_floor in
+    t.fifo_floor <-
+      Array.init (Graph.n new_graph) (fun u ->
+          Array.map
+            (fun v ->
+              if Graph.mem_edge old_graph u v then old_floors.(u).(slot_in old_graph u v)
+              else neg_infinity)
+            (Graph.neighbors new_graph u));
     t.graph <- new_graph;
     for i = 0 to Graph.n new_graph - 1 do
       let kept_rng = t.ctxs.(i).Node.rng in
@@ -274,6 +306,7 @@ module Make (A : Node.AUTOMATON) = struct
     if remapped != t.states then Array.blit remapped 0 t.states 0 (Array.length t.states)
 
   let install_faults t ?(remap = fun ~old_graph:_ ~new_graph:_ states -> states) plan =
+    let n = Graph.n t.graph in
     let channel, scheduled =
       List.partition
         (fun ev ->
@@ -282,6 +315,24 @@ module Make (A : Node.AUTOMATON) = struct
           | Crash _ | Cut _ | Link _ -> false)
         plan.Fault.events
     in
+    let by_channel = Hashtbl.create 16 in
+    List.iter
+      (fun ev ->
+        let src, dst =
+          match (ev : Fault.event) with
+          | Drop { src; dst; _ } | Duplicate { src; dst; _ } | Reorder { src; dst; _ }
+          | Corrupt { src; dst; _ } ->
+              (src, dst)
+          | Crash _ | Cut _ | Link _ -> assert false
+        in
+        (* Events naming an impossible channel can never fire; indexing them
+           would alias a real channel's key. *)
+        if src >= 0 && src < n && dst >= 0 && dst < n && src <> dst then begin
+          let key = (src * n) + dst in
+          let prev = Option.value ~default:[] (Hashtbl.find_opt by_channel key) in
+          Hashtbl.replace by_channel key (prev @ [ (ev, Fault.rng_for plan ev) ])
+        end)
+      channel;
     let pending =
       List.stable_sort
         (fun (r1, _, _) (r2, _, _) -> compare r1 r2)
@@ -295,14 +346,7 @@ module Make (A : Node.AUTOMATON) = struct
              (r, ev, Fault.rng_for plan ev))
            scheduled)
     in
-    t.faults <-
-      Some
-        {
-          channel = List.map (fun ev -> (ev, Fault.rng_for plan ev)) channel;
-          pending;
-          fremap = remap;
-          stats = Fault.zero_stats;
-        }
+    t.faults <- Some { by_channel; pending; fremap = remap; stats = Fault.zero_stats }
 
   let fault_stats t = match t.faults with None -> Fault.zero_stats | Some fs -> fs.stats
 
@@ -328,13 +372,13 @@ module Make (A : Node.AUTOMATON) = struct
               (match (ev : Fault.event) with
               | Crash { node; mode; _ } ->
                   if node < 0 || node >= n then
-                    skip fs t ~detail:(Printf.sprintf "crash %d out of range" node)
+                    skip fs t ~detail:(fun () -> Printf.sprintf "crash %d out of range" node)
                   else begin
                     fs.stats <- { fs.stats with Fault.crashes = fs.stats.Fault.crashes + 1 };
                     note t ~kind:"crash"
-                      ~detail:
-                        (Printf.sprintf "%d %s" node
-                           (match mode with `Init -> "init" | `Random -> "random"));
+                      ~detail:(fun () ->
+                        Printf.sprintf "%d %s" node
+                          (match mode with `Init -> "init" | `Random -> "random"));
                     reset_node t ~rng mode node;
                     Array.iter
                       (fun nb ->
@@ -344,7 +388,7 @@ module Make (A : Node.AUTOMATON) = struct
                   end
               | Cut { u; v; _ } ->
                   if u < 0 || v < 0 || u >= n || v >= n || not (Graph.mem_edge t.graph u v)
-                  then skip fs t ~detail:(Printf.sprintf "cut %d-%d absent" u v)
+                  then skip fs t ~detail:(fun () -> Printf.sprintf "cut %d-%d absent" u v)
                   else begin
                     let ids = Array.init n (Graph.id t.graph) in
                     let edges =
@@ -354,21 +398,22 @@ module Make (A : Node.AUTOMATON) = struct
                     in
                     let candidate = Graph.of_edges ~ids ~n edges in
                     if not (Mdst_graph.Algo.is_connected candidate) then
-                      skip fs t ~detail:(Printf.sprintf "cut %d-%d would disconnect" u v)
+                      skip fs t ~detail:(fun () ->
+                          Printf.sprintf "cut %d-%d would disconnect" u v)
                     else begin
                       fs.stats <- { fs.stats with Fault.cuts = fs.stats.Fault.cuts + 1 };
-                      note t ~kind:"cut" ~detail:(Printf.sprintf "%d-%d" u v);
+                      note t ~kind:"cut" ~detail:(fun () -> Printf.sprintf "%d-%d" u v);
                       reshape t ~remap:fs.fremap candidate
                     end
                   end
               | Link { u; v; _ } ->
                   if u < 0 || v < 0 || u >= n || v >= n || u = v || Graph.mem_edge t.graph u v
-                  then skip fs t ~detail:(Printf.sprintf "link %d-%d infeasible" u v)
+                  then skip fs t ~detail:(fun () -> Printf.sprintf "link %d-%d infeasible" u v)
                   else begin
                     let ids = Array.init n (Graph.id t.graph) in
                     let edges = (u, v) :: Array.to_list (Graph.edges t.graph) in
                     fs.stats <- { fs.stats with Fault.links = fs.stats.Fault.links + 1 };
-                    note t ~kind:"link" ~detail:(Printf.sprintf "%d-%d" u v);
+                    note t ~kind:"link" ~detail:(fun () -> Printf.sprintf "%d-%d" u v);
                     reshape t ~remap:fs.fremap (Graph.of_edges ~ids ~n edges)
                   end
               | Drop _ | Duplicate _ | Reorder _ | Corrupt _ -> assert false);
@@ -381,19 +426,23 @@ module Make (A : Node.AUTOMATON) = struct
     let n = Graph.n t.graph in
     let k = max 1 (int_of_float (Float.round (fraction *. float_of_int n))) in
     let victims = Prng.sample_without_replacement t.rng (min k n) n in
+    (* One split stream per victim feeds its state corruption AND (with
+       [channels]) its injected payloads and their latency draws, so the
+       engine's own stream advances by exactly [k] splits either way — the
+       post-corruption tick/latency schedule does not depend on whether
+       channel corruption was requested. *)
     List.iter
-      (fun i -> t.states.(i) <- A.random_state t.ctxs.(i) (Prng.split t.rng))
-      victims;
-    if channels then
-      List.iter
-        (fun i ->
+      (fun i ->
+        let vrng = Prng.split t.rng in
+        t.states.(i) <- A.random_state t.ctxs.(i) vrng;
+        if channels then
           Array.iter
             (fun nb ->
-              match A.random_msg t.ctxs.(i) t.rng with
-              | Some msg -> inject t ~src:i ~dst:nb msg
+              match A.random_msg t.ctxs.(i) vrng with
+              | Some msg -> inject_with ~rng:vrng t ~src:i ~dst:nb msg
               | None -> ())
             (Graph.neighbors t.graph i))
-        victims;
+      victims;
     List.length victims
 
   let step t =

@@ -15,7 +15,18 @@
     asynchronous-round measure the paper's time-complexity claims use — a
     round is over once everything enabled at the start of the round has been
     scheduled — and it is independent of the latency model's absolute
-    numbers. *)
+    numbers.
+
+    {2 Memory model}
+
+    The engine's footprint is O(n + m + in-flight messages): per-node
+    state/context arrays, one event heap, and per-channel FIFO floors stored
+    as one float per {e adjacent} ordered pair (a slot per neighbour, in
+    [Graph.neighbors] order) — there is no per-ordered-pair matrix, so
+    simulations scale to thousands of nodes (see EXPERIMENTS.md E19).
+    Installed fault plans index their channel events by ordered channel, so
+    a send on an untampered channel does no fault-list scanning and builds
+    no label string. *)
 
 (** What an attached observer sees (message payloads are reduced to their
     family label so observers remain protocol-generic).  [Obs_fault] records
@@ -96,8 +107,12 @@ module Make (A : Node.AUTOMATON) : sig
   val corrupt : t -> ?fraction:float -> ?channels:bool -> unit -> int
   (** Replace the state of a random [fraction] (default 1.0) of nodes by
       [A.random_state], optionally also injecting random channel contents.
-      Returns the number of nodes hit.  Draws from the engine's stream
-      (pre-dating the plan machinery; kept for experiment E4's replays). *)
+      Returns the number of nodes hit.  The victim set is drawn from the
+      engine's stream; each victim then gets its own split stream feeding
+      its state corruption and (with [channels]) its injected payloads and
+      their latency draws, so the engine's stream advances identically with
+      and without [channels] — the post-corruption tick/latency schedule of
+      the untouched channels is the same either way. *)
 
   val inject : t -> src:int -> dst:int -> A.msg -> unit
   (** Force a message onto a channel (the endpoints must be adjacent). *)
@@ -110,7 +125,11 @@ module Make (A : Node.AUTOMATON) : sig
 
   val purge_channel : t -> src:int -> dst:int -> int
   (** Drop every queued message on the ordered channel [src -> dst];
-      returns how many were lost. *)
+      returns how many were lost.  The channel's FIFO floor is {e kept}:
+      messages sent after the purge are still delivered strictly after the
+      arrival times of the purged ones, as on a real FIFO link that lost
+      content without being re-established (see also {!Fault.event}
+      [Crash], which purges all of a node's channels). *)
 
   val reshape :
     t ->
@@ -118,8 +137,10 @@ module Make (A : Node.AUTOMATON) : sig
     Mdst_graph.Graph.t ->
     unit
   (** Replace the topology mid-run (same node count, must stay connected).
-      Messages in flight on vanished edges are lost; node contexts are
-      rebuilt (each node keeps its PRNG stream); [remap] re-homes the state
+      Messages in flight on vanished edges are lost; surviving channels
+      keep their FIFO floors while new (or re-added) channels start fresh;
+      node contexts are rebuilt (each node keeps its PRNG stream); [remap]
+      re-homes the state
       array onto the new topology (default: states carried over untouched —
       protocol-specific carriers like [Mdst_core.Transplant.states] plug in
       here).  @raise Invalid_argument on node-count mismatch or a

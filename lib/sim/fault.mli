@@ -38,7 +38,9 @@ type event =
       (** Lose each message on channel [src -> dst] with probability
           [prob] while the window is open. *)
   | Duplicate of { window : window; src : int; dst : int; prob : float; copies : int }
-      (** Deliver [copies] extra copies of each affected message. *)
+      (** Deliver [copies] extra copies of each affected message: exactly
+          [copies + 1] deliveries in total — the original plus the extras
+          (each floored by the channel's FIFO order like any send). *)
   | Reorder of { window : window; src : int; dst : int; prob : float; delay : float }
       (** Delay each affected message by up to [delay] extra time units,
           {e bypassing} the channel's FIFO floor, so later messages can
@@ -49,7 +51,11 @@ type event =
           payload corruption. *)
   | Crash of { at_round : int; node : int; mode : mode }
       (** Crash-restart: the node's state is re-initialized per [mode] and
-          every message in flight to or from it is lost. *)
+          every message in flight to or from it is lost.  The purged
+          channels {e keep} their FIFO floors: traffic after the restart is
+          still delivered strictly after the lost messages' arrival times —
+          the link itself was never torn down, only its content was lost
+          (pinned by the [purge keeps fifo floor] regression test). *)
   | Cut of { at_round : int; u : int; v : int }
       (** Remove edge [{u, v}]; skipped (and recorded as skipped) if the
           edge is absent or is a bridge — the paper's model requires the

@@ -17,10 +17,11 @@ let exponential ?(mean = 1.0) () =
     sample = (fun rng ~src:_ ~dst:_ -> 0.01 +. Prng.exponential rng (1.0 /. mean));
   }
 
-(* Deterministic per-link hash so the slowed set is stable across a run. *)
+(* Deterministic per-link hash so the slowed set is stable across a run.
+   [Prng.float_of_seed] keeps this allocation-free — it runs once per send
+   under the slow-links / node-skew models. *)
 let link_hash seed src dst =
-  let h = Prng.create (seed lxor (src * 1_000_003) lxor (dst * 7_368_787)) in
-  Prng.float h 1.0
+  Prng.float_of_seed (seed lxor (src * 1_000_003) lxor (dst * 7_368_787))
 
 let slow_links ?(factor = 10.0) ?(fraction = 0.15) ~base seed =
   {

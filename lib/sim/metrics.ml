@@ -1,6 +1,11 @@
+(* Per-label accounting shares one record per label so the per-send hot
+   path does a single hash lookup and two in-place increments — no boxed
+   counters, no second table. *)
+
+type per_label = { mutable count : int; mutable bits_sum : int }
+
 type t = {
-  counts : (string, int ref) Hashtbl.t;
-  bits : (string, int ref) Hashtbl.t;
+  by_label : (string, per_label) Hashtbl.t;
   mutable sends : int;
   mutable deliveries : int;
   mutable total_bits : int;
@@ -10,8 +15,7 @@ type t = {
 
 let create () =
   {
-    counts = Hashtbl.create 8;
-    bits = Hashtbl.create 8;
+    by_label = Hashtbl.create 8;
     sends = 0;
     deliveries = 0;
     total_bits = 0;
@@ -19,14 +23,12 @@ let create () =
     max_msg_bits = 0;
   }
 
-let bump tbl key v =
-  match Hashtbl.find_opt tbl key with
-  | Some r -> r := !r + v
-  | None -> Hashtbl.add tbl key (ref v)
-
 let record_send t ~label ~bits =
-  bump t.counts label 1;
-  bump t.bits label bits;
+  (match Hashtbl.find_opt t.by_label label with
+  | Some c ->
+      c.count <- c.count + 1;
+      c.bits_sum <- c.bits_sum + bits
+  | None -> Hashtbl.add t.by_label label { count = 1; bits_sum = bits });
   t.sends <- t.sends + 1;
   t.total_bits <- t.total_bits + bits;
   if bits > t.max_msg_bits then t.max_msg_bits <- bits
@@ -43,20 +45,19 @@ let deliveries t = t.deliveries
 
 let total_bits t = t.total_bits
 
-let sorted tbl =
-  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) tbl [] |> List.sort compare
+let sorted t project =
+  Hashtbl.fold (fun k c acc -> (k, project c) :: acc) t.by_label [] |> List.sort compare
 
-let messages_by_label t = sorted t.counts
+let messages_by_label t = sorted t (fun c -> c.count)
 
-let bits_by_label t = sorted t.bits
+let bits_by_label t = sorted t (fun c -> c.bits_sum)
 
 let max_state_bits t = t.max_state_bits
 
 let max_msg_bits t = t.max_msg_bits
 
 let reset t =
-  Hashtbl.reset t.counts;
-  Hashtbl.reset t.bits;
+  Hashtbl.reset t.by_label;
   t.sends <- 0;
   t.deliveries <- 0;
   t.total_bits <- 0;

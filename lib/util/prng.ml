@@ -75,6 +75,12 @@ let sample_without_replacement t k n =
   done;
   IS.elements !s
 
+(* Equals [float (create seed) 1.0] without allocating a generator — the
+   hot path of per-link latency hashing samples this once per send. *)
+let float_of_seed seed =
+  let z = mix64 (Int64.add (mix64 (Int64.of_int seed)) golden_gamma) in
+  Int64.to_float (Int64.shift_right_logical z 11) /. 9007199254740992.0 (* 2^53 *)
+
 let seed_of_string str =
   let h = ref (0xcbf29ce484222325L |> Int64.to_int) in
   String.iter

@@ -52,5 +52,10 @@ val sample_without_replacement : t -> int -> int -> int list
 (** [sample_without_replacement t k n] draws [k] distinct values from
     [\[0, n)], in increasing order.  Requires [0 <= k <= n]. *)
 
+val float_of_seed : int -> float
+(** [float_of_seed seed] is exactly [float (create seed) 1.0] without
+    allocating a generator — a deterministic hash of [seed] into [\[0, 1)]
+    for hot paths that need one draw per call (per-link latency models). *)
+
 val seed_of_string : string -> int
 (** Stable FNV-1a hash of a string, for naming experiment seeds. *)

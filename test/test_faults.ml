@@ -6,6 +6,7 @@ module Graph = Mdst_graph.Graph
 module Gen = Mdst_graph.Gen
 module Node = Mdst_sim.Node
 module Fault = Mdst_sim.Fault
+module Latency = Mdst_sim.Latency
 module Prng = Mdst_util.Prng
 
 let check = Alcotest.(check bool)
@@ -38,7 +39,7 @@ module Count = struct
 
   let on_message _ st ~src v = { st with from = (src, v) :: st.from }
 
-  let msg_label _ = "ping"
+  let msg_label v = if v = corrupt_marker then "corrupt" else "ping"
 
   let msg_bits ~n:_ _ = 8
 
@@ -46,6 +47,34 @@ module Count = struct
 end
 
 module E = Mdst_sim.Engine.Make (Count)
+
+(* A mute automaton: the only traffic is what the test injects, so delivery
+   counts and arrival times can be asserted exactly. *)
+module Silent = struct
+  type state = (int * float) list (* value, arrival time; newest first *)
+
+  type msg = int
+
+  let name = "silent"
+
+  let init _ = []
+
+  let random_state _ _ = []
+
+  let random_msg _ _ = None
+
+  let on_tick _ st = st
+
+  let on_message ctx st ~src:_ v = (v, ctx.Node.now ()) :: st
+
+  let msg_label _ = "m"
+
+  let msg_bits ~n:_ _ = 8
+
+  let state_bits ~n:_ _ = 8
+end
+
+module S = Mdst_sim.Engine.Make (Silent)
 
 let path3 () = Graph.of_edges ~n:3 [ (0, 1); (1, 2) ]
 
@@ -91,6 +120,22 @@ let test_duplicate () =
     (List.length vals > List.length (List.sort_uniq compare vals));
   check "duplicates counted" true ((E.fault_stats e).Fault.duplicates > 0)
 
+let test_duplicate_exact_copies () =
+  (* [copies = k] means exactly k EXTRA deliveries: the original plus k
+     duplicates, pinned here with a mute automaton so nothing else rides
+     the channel (documented in fault.mli). *)
+  let e = S.create ~seed:17 (path3 ()) in
+  S.install_faults e (Fault.of_string "seed=1|dup:0-100000:0>1:1:2");
+  S.inject e ~src:0 ~dst:1 777;
+  S.inject e ~src:0 ~dst:1 888;
+  ignore (S.run e ~max_rounds:30 ~check_every:1 ~stop:(fun _ -> false) ());
+  let got = List.map fst (S.state e 1) in
+  let count v = List.length (List.filter (( = ) v) got) in
+  Alcotest.(check int) "first send: copies+1 deliveries" 3 (count 777);
+  Alcotest.(check int) "second send: copies+1 deliveries" 3 (count 888);
+  Alcotest.(check int) "total deliveries" 6 (List.length got);
+  Alcotest.(check int) "one dup event per tampered send" 2 (S.fault_stats e).Fault.duplicates
+
 let test_corrupt () =
   let e = run_with "seed=1|corrupt:0-100000:0>1:1" in
   let vals = received e ~src:0 ~dst:1 in
@@ -99,6 +144,48 @@ let test_corrupt () =
   check "other channel untouched" true
     (List.for_all (fun v -> v <> corrupt_marker) (received e ~src:2 ~dst:1));
   check "corruptions counted" true ((E.fault_stats e).Fault.corruptions > 0)
+
+let test_corrupt_channels_same_schedule () =
+  (* Regression: [corrupt ~channels:true] used to draw its injected
+     payloads and their latencies from the engine's own PRNG, shifting
+     every later tick/latency draw.  Each victim now owns a split stream,
+     so the post-corruption schedule of ORGANIC traffic is identical
+     whether or not channel corruption was requested. *)
+  let run channels =
+    let e = E.create ~seed:33 (Gen.ring 8) in
+    ignore (E.run e ~max_rounds:20 ~check_every:1 ~stop:(fun _ -> false) ());
+    let nvictims = E.corrupt e ~fraction:0.25 ~channels () in
+    let sched = ref [] in
+    E.observe e (function
+      | Mdst_sim.Engine.Obs_deliver { src; dst; label = "ping"; time; _ } ->
+          sched := (src, dst, time) :: !sched
+      | _ -> ());
+    ignore (E.run e ~max_rounds:60 ~check_every:1 ~stop:(fun _ -> false) ());
+    let victims =
+      List.filteri (fun i _ -> (E.state e i).Count.boots = 999)
+        (List.init (Graph.n (E.graph e)) Fun.id)
+    in
+    (nvictims, victims, List.rev !sched)
+  in
+  let n_a, v_a, sched_a = run false in
+  let n_b, v_b, sched_b = run true in
+  Alcotest.(check int) "same victim count" n_a n_b;
+  check "same victims" true (v_a = v_b);
+  check "victims exist" true (v_a <> []);
+  check "post-corruption organic schedule identical" true (sched_a = sched_b)
+
+let test_fault_detail_formatting () =
+  (* Fault observations are built lazily on the hot path; pin that the
+     rendered labels did not change shape. *)
+  let e = E.create ~seed:17 (path3 ()) in
+  E.install_faults e (Fault.of_string "seed=1|dup:0-100000:0>1:1:2|crash:5:2:init");
+  let seen = ref [] in
+  E.observe e (function
+    | Mdst_sim.Engine.Obs_fault { kind; detail; _ } -> seen := (kind, detail) :: !seen
+    | _ -> ());
+  ignore (E.run e ~max_rounds:20 ~check_every:1 ~stop:(fun _ -> false) ());
+  check "dup detail names channel and copies" true (List.mem ("dup", "0>1 x2") !seen);
+  check "crash detail names node and mode" true (List.mem ("crash", "2 init") !seen)
 
 let test_reorder_breaks_fifo () =
   let e = run_with ~rounds:200 "seed=1|reorder:0-100000:0>1:0.5:8" in
@@ -182,6 +269,24 @@ let test_purge_channel () =
   Alcotest.(check int) "purged the ordered channel only" 2 (E.purge_channel e ~src:0 ~dst:1);
   Alcotest.(check int) "idempotent" 0 (E.purge_channel e ~src:0 ~dst:1);
   Alcotest.(check int) "other channel intact" 1 (E.purge_channel e ~src:1 ~dst:2)
+
+let test_purge_keeps_fifo_floor () =
+  (* Pinned semantics (fault.mli, engine.mli): purging a channel KEEPS its
+     FIFO floor, so later traffic still arrives strictly after the lost
+     messages would have.  With constant latency 5.0 the purged message
+     fixed the floor at 5.0; the next send's raw arrival is also 5.0 and
+     must be nudged strictly past it. *)
+  let e = S.create ~latency:(Latency.constant 5.0) ~seed:3 (path3 ()) in
+  S.inject e ~src:0 ~dst:1 7;
+  Alcotest.(check int) "one message purged" 1 (S.purge_channel e ~src:0 ~dst:1);
+  S.inject e ~src:0 ~dst:1 8;
+  ignore (S.run e ~max_rounds:10 ~check_every:1 ~stop:(fun _ -> false) ());
+  match S.state e 1 with
+  | [ (v, at) ] ->
+      Alcotest.(check int) "only the second message arrives" 8 v;
+      check "arrival strictly after the purged message's floor" true (at > 5.0);
+      check "nudged by epsilon, not rescheduled" true (at < 5.001)
+  | got -> Alcotest.failf "expected exactly one delivery, got %d" (List.length got)
 
 let test_reset_node () =
   let e = E.create ~seed:3 (path3 ()) in
@@ -281,7 +386,10 @@ let () =
           Alcotest.test_case "drop everything" `Quick test_drop_everything;
           Alcotest.test_case "drop window closes" `Quick test_drop_window_closes;
           Alcotest.test_case "duplicate" `Quick test_duplicate;
+          Alcotest.test_case "duplicate exact copies" `Quick test_duplicate_exact_copies;
           Alcotest.test_case "corrupt" `Quick test_corrupt;
+          Alcotest.test_case "corrupt channels same schedule" `Quick test_corrupt_channels_same_schedule;
+          Alcotest.test_case "fault detail formatting" `Quick test_fault_detail_formatting;
           Alcotest.test_case "reorder breaks fifo" `Quick test_reorder_breaks_fifo;
         ] );
       ( "scheduled",
@@ -298,6 +406,7 @@ let () =
           Alcotest.test_case "determinism" `Quick test_fault_determinism;
           Alcotest.test_case "empty plan no drift" `Quick test_empty_plan_no_drift;
           Alcotest.test_case "purge channel" `Quick test_purge_channel;
+          Alcotest.test_case "purge keeps fifo floor" `Quick test_purge_keeps_fifo_floor;
           Alcotest.test_case "reset node" `Quick test_reset_node;
           Alcotest.test_case "reshape" `Quick test_reshape;
         ] );

@@ -148,6 +148,21 @@ let test_engine_fifo () =
     ignore st
   done
 
+let test_engine_scales_without_quadratic_memory () =
+  (* n = 2048: a dense per-ordered-pair float matrix alone would be
+     n^2 * 8 bytes = 33.5 MB.  The sparse per-channel FIFO floors keep the
+     whole engine — graph, heap, states, plus 10k steps of traffic — well
+     under half of that. *)
+  let graph = Gen.erdos_renyi_connected (Prng.create 1) ~n:2048 ~p:(4.0 /. 2047.0) in
+  Gc.full_major ();
+  let before = (Gc.stat ()).Gc.live_words in
+  let e = run_flood ~seed:7 ~steps:10_000 graph in
+  Gc.full_major ();
+  let after = (Gc.stat ()).Gc.live_words in
+  let delta_bytes = (after - before) * (Sys.word_size / 8) in
+  check "engine advanced" true (FloodEngine.now e > 0.0);
+  check "no quadratic engine memory (< 16 MB live)" true (delta_bytes < 16 * 1024 * 1024)
+
 let test_engine_deterministic () =
   let graph = Gen.grid ~rows:3 ~cols:3 in
   let run () =
@@ -378,6 +393,7 @@ let () =
       ( "engine",
         [
           Alcotest.test_case "fifo under reordering latency" `Quick test_engine_fifo;
+          Alcotest.test_case "scales without quadratic memory" `Quick test_engine_scales_without_quadratic_memory;
           Alcotest.test_case "deterministic per seed" `Quick test_engine_deterministic;
           Alcotest.test_case "seed changes execution" `Quick test_engine_seed_changes_execution;
           Alcotest.test_case "rounds advance" `Quick test_engine_rounds_advance;

@@ -65,6 +65,17 @@ let test_float_bounds () =
     check "float range" true (v >= 0.0 && v < 2.5)
   done
 
+let test_float_of_seed_matches_stream () =
+  (* The allocation-free hash used by the latency hot path must equal the
+     first draw of a fresh stream seeded the same way. *)
+  List.iter
+    (fun seed ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "seed %d" seed)
+        (Prng.float (Prng.create seed) 1.0)
+        (Prng.float_of_seed seed))
+    [ 0; 1; 42; -7; 123456789; max_int ]
+
 let test_bernoulli_extremes () =
   let rng = Prng.create 2 in
   for _ = 1 to 100 do
@@ -291,6 +302,7 @@ let () =
           Alcotest.test_case "int bounds" `Quick test_int_bounds;
           Alcotest.test_case "int rejects bad bounds" `Quick test_int_rejects_bad_bounds;
           Alcotest.test_case "float bounds" `Quick test_float_bounds;
+          Alcotest.test_case "float_of_seed matches stream" `Quick test_float_of_seed_matches_stream;
           Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
           Alcotest.test_case "bernoulli rate" `Quick test_bernoulli_rate;
           Alcotest.test_case "exponential positive" `Quick test_exponential_positive;
