@@ -3,7 +3,7 @@
 DUNE ?= dune
 SIM   = $(DUNE) exec bin/mdst_sim.exe --
 
-.PHONY: all build test pbt pbt-long bench bench-json clean
+.PHONY: all build test pbt pbt-long bench bench-json bench-proto bench-guard clean
 
 all: build
 
@@ -31,6 +31,16 @@ bench: build
 # Engine macro-benchmarks (experiment E19): the tracked perf trajectory.
 bench-json: build
 	$(SIM) bench --out BENCH_engine.json
+
+# Protocol macro-benchmarks (experiment E20): convergence time, message
+# volume and allocation, with and without Info suppression.
+bench-proto: build
+	$(SIM) bench --proto --out BENCH_proto.json
+
+# Regression guard: re-measure quick engine points and compare against the
+# committed trajectory (fails on an events/sec drop beyond 30%).
+bench-guard: build
+	$(SIM) bench --quick --out /tmp/BENCH_engine_fresh.json --baseline BENCH_engine.json
 
 clean:
 	$(DUNE) clean

@@ -1,9 +1,10 @@
 (* Benchmark binary.
 
    Part 1 regenerates every table and figure of EXPERIMENTS.md (experiments
-   E1..E19) through the analysis harness — `--quick` shrinks sizes/seeds,
+   E1..E20) through the analysis harness — `--quick` shrinks sizes/seeds,
    `--only E3` selects one experiment, `--bench-json FILE` additionally
-   persists the E19 engine macro-bench points as JSON.
+   persists the E19 engine macro-bench points as JSON and `--proto-json
+   FILE` the E20 protocol macro-bench points.
 
    Part 2 runs Bechamel micro-benchmarks of the hot substrate paths (one
    Test.make per experiment family plus the primitives they lean on), so
@@ -153,11 +154,13 @@ let () =
   let skip_micro = Array.exists (( = ) "--skip-micro") Sys.argv in
   let only = ref None in
   let bench_json = ref None in
+  let proto_json = ref None in
   Array.iteri
     (fun i a ->
       if i + 1 < Array.length Sys.argv then begin
         if a = "--only" then only := Some Sys.argv.(i + 1);
-        if a = "--bench-json" then bench_json := Some Sys.argv.(i + 1)
+        if a = "--bench-json" then bench_json := Some Sys.argv.(i + 1);
+        if a = "--proto-json" then proto_json := Some Sys.argv.(i + 1)
       end)
     Sys.argv;
   (match !only with
@@ -174,6 +177,14 @@ let () =
          payload `mdst_sim bench` writes, honoring --quick. *)
       let points = Mdst_analysis.Bench_engine.points ~quick () in
       Mdst_analysis.Bench_engine.write_json ~path ~quick points;
+      Printf.printf "wrote %s (%d points)\n%!" path (List.length points)
+  | None -> ());
+  (match !proto_json with
+  | Some path ->
+      (* The E20 protocol macro-bench points, same scheme as --bench-json:
+         what `mdst_sim bench --proto` writes, honoring --quick. *)
+      let points = Mdst_analysis.Bench_proto.points ~quick () in
+      Mdst_analysis.Bench_proto.write_json ~path ~quick points;
       Printf.printf "wrote %s (%d points)\n%!" path (List.length points)
   | None -> ());
   if not skip_micro then run_micro ()

@@ -236,7 +236,7 @@ let props_cmd =
 let experiments_cmd =
   let quick_arg = Arg.(value & flag & info [ "quick" ] ~doc:"Small sizes and fewer seeds.") in
   let only_arg =
-    Arg.(value & opt (some string) None & info [ "only" ] ~docv:"ID" ~doc:"Run a single experiment (E1..E19).")
+    Arg.(value & opt (some string) None & info [ "only" ] ~docv:"ID" ~doc:"Run a single experiment (E1..E20).")
   in
   let csv_arg =
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc:"Also write every table as CSV under $(docv).")
@@ -265,21 +265,72 @@ let bench_cmd =
   let quick_arg =
     Arg.(value & flag & info [ "quick" ] ~doc:"Small sizes and a reduced event budget (CI smoke).")
   in
+  let proto_arg =
+    Arg.(value & flag
+         & info [ "proto" ]
+             ~doc:"Run the protocol macro-benchmarks (experiment E20: convergence time, \
+                   message volume, allocation, with and without Info suppression) instead \
+                   of the engine benchmarks.")
+  in
   let out_arg =
-    Arg.(value & opt string "BENCH_engine.json"
-         & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the JSON benchmark points.")
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Where to write the JSON benchmark points (default: BENCH_engine.json, \
+                   or BENCH_proto.json with $(b,--proto)).")
   in
-  let action quick out =
-    let module B = Mdst_analysis.Bench_engine in
-    let points = B.points ~quick () in
-    Mdst_analysis.Table.print (B.table points);
-    B.write_json ~path:out ~quick points;
-    Printf.printf "wrote %s (%d points)\n" out (List.length points)
+  let baseline_arg =
+    Arg.(value & opt (some file) None
+         & info [ "baseline" ] ~docv:"FILE"
+             ~doc:"Regression guard (engine benchmarks only): compare the fresh points \
+                   against this committed BENCH_engine.json and exit non-zero if \
+                   events/sec regressed beyond the tolerance on any matching point.")
   in
-  let term = Term.(const action $ quick_arg $ out_arg) in
+  let tolerance_arg =
+    Arg.(value & opt float 0.3
+         & info [ "tolerance" ] ~docv:"FRAC"
+             ~doc:"Allowed fractional events/sec drop before the regression guard fails \
+                   (default 0.3; benchmarks on shared CI runners are noisy).")
+  in
+  let action quick proto out baseline tolerance =
+    if proto then begin
+      let module B = Mdst_analysis.Bench_proto in
+      let out = Option.value out ~default:"BENCH_proto.json" in
+      let points =
+        B.points ~quick ~progress:(fun p -> Format.printf "  %a@." B.pp_point p) ()
+      in
+      Mdst_analysis.Table.print (B.table points);
+      B.write_json ~path:out ~quick points;
+      Printf.printf "wrote %s (%d points)\n" out (List.length points)
+    end
+    else begin
+      let module B = Mdst_analysis.Bench_engine in
+      let out = Option.value out ~default:"BENCH_engine.json" in
+      (* Read the baseline before writing --out: guarding against the file
+         being overwritten when baseline and out name the same path. *)
+      let base = Option.map B.load_json baseline in
+      let points = B.points ~quick () in
+      Mdst_analysis.Table.print (B.table points);
+      B.write_json ~path:out ~quick points;
+      Printf.printf "wrote %s (%d points)\n" out (List.length points);
+      match base with
+      | None -> ()
+      | Some baseline_pts ->
+          (match B.regressions ~tolerance ~baseline:baseline_pts points with
+          | [] ->
+              Printf.printf "regression guard: OK (%d baseline points, tolerance %.0f%%)\n"
+                (List.length baseline_pts) (100.0 *. tolerance)
+          | lines ->
+              print_endline "regression guard: FAILED";
+              List.iter (fun l -> print_endline ("  " ^ l)) lines;
+              exit 1)
+    end
+  in
+  let term = Term.(const action $ quick_arg $ proto_arg $ out_arg $ baseline_arg $ tolerance_arg) in
   Cmd.v
     (Cmd.info "bench"
-       ~doc:"Engine macro-benchmarks (experiment E19): events/sec and live engine memory at n up to 2048.  Writes the repository's tracked perf trajectory, BENCH_engine.json.")
+       ~doc:"Macro-benchmarks: the engine trajectory (E19, default; BENCH_engine.json, \
+             optional --baseline regression guard) or the protocol trajectory (E20, \
+             --proto; BENCH_proto.json).")
     term
 
 (* ---- pbt ---- *)

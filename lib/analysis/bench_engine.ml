@@ -120,3 +120,55 @@ let write_json ~path ?(quick = false) pts =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
       output_string oc (to_json ~quick pts))
+
+(* --- Regression guard ----------------------------------------------------- *)
+
+(* Line-oriented reader of exactly the shape [to_json] emits — one point
+   object per line.  Lines that do not parse (header, closing brackets,
+   future fields) are skipped, so the guard degrades to "no baseline
+   points" rather than crashing on schema drift. *)
+let parse_point_line line =
+  match
+    Scanf.sscanf line
+      " {\"topology\": %S, \"n\": %d, \"m\": %d, \"events\": %d, \"elapsed_s\": %f, \
+       \"events_per_sec\": %f, \"engine_bytes\": %d"
+      (fun topology n m events elapsed_s events_per_sec engine_bytes ->
+        { topology; n; m; events; elapsed_s; events_per_sec; engine_bytes })
+  with
+  | p -> Some p
+  | exception (Scanf.Scan_failure _ | End_of_file | Failure _) -> None
+
+let load_json path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (match parse_point_line line with Some p -> p :: acc | None -> acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+(* Compare fresh points against a committed baseline on the intersection of
+   (topology, n) keys: any events/sec drop beyond [tolerance] (a fraction,
+   default 30%) is reported.  Machines differ, so the guard is deliberately
+   loose — it exists to catch order-of-magnitude hot-path regressions, not
+   single-digit noise. *)
+let regressions ?(tolerance = 0.3) ~baseline fresh =
+  List.filter_map
+    (fun b ->
+      match List.find_opt (fun p -> p.topology = b.topology && p.n = b.n) fresh with
+      | None -> None
+      | Some _ when b.events_per_sec <= 0.0 -> None
+      | Some p ->
+          let floor = (1.0 -. tolerance) *. b.events_per_sec in
+          if p.events_per_sec < floor then
+            Some
+              (Printf.sprintf
+                 "%s n=%d: %.0f events/s vs baseline %.0f (%.0f%% drop > %.0f%% tolerance)"
+                 p.topology p.n p.events_per_sec b.events_per_sec
+                 (100.0 *. (1.0 -. (p.events_per_sec /. b.events_per_sec)))
+                 (100.0 *. tolerance))
+          else None)
+    baseline

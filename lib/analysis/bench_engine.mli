@@ -27,3 +27,14 @@ val run : ?quick:bool -> unit -> Table.t list
 val to_json : ?quick:bool -> point list -> string
 
 val write_json : path:string -> ?quick:bool -> point list -> unit
+
+val load_json : string -> point list
+(** Read back a BENCH_engine.json written by {!write_json} (line-oriented;
+    unparseable lines are skipped, so schema drift yields an empty list
+    rather than an exception). *)
+
+val regressions : ?tolerance:float -> baseline:point list -> point list -> string list
+(** [regressions ~baseline fresh] — one human-readable line per benchmark
+    point (matched on topology and n) whose events/sec fell more than
+    [tolerance] (default 0.3) below the baseline.  Empty means the guard
+    passes. *)

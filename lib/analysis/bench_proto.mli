@@ -1,0 +1,48 @@
+(** E20 — protocol macro-benchmarks: full clean-start runs to convergence
+    at n up to 2048 on ER (avg deg 4), grid and star, with and without
+    Info dirty-bit suppression.  Per point: wall-clock, messages/bits,
+    peak in-flight events and GC allocation volume — the protocol-level
+    perf trajectory feeding BENCH_proto.json (via [mdst_sim bench
+    --proto] / [make bench-proto]), alongside the engine trajectory in
+    BENCH_engine.json. *)
+
+type point = {
+  topology : string;  (** "er", "grid" or "star" *)
+  n : int;
+  m : int;
+  suppression : bool;  (** Info dirty-bit suppression mode active? *)
+  converged : bool;
+  rounds : int;
+  elapsed_s : float;
+  messages : int;  (** total sends over the run *)
+  bits : int;  (** idealised encoded volume of those sends *)
+  peak_in_flight : int;  (** max pending engine events, sampled every stop check *)
+  suppressed : int;  (** Info sends elided by suppression (0 when off) *)
+  allocated_bytes : float;  (** GC allocation volume of engine build + run *)
+}
+
+val graph_for : string -> int -> Mdst_graph.Graph.t
+(** Same ER family/seed scheme as {!Bench_engine} so the two trajectories
+    describe the same graphs. *)
+
+val bench_point : topology:string -> suppression:bool -> Mdst_graph.Graph.t -> point
+(** One full run to convergence (legitimacy + quiescence, no FR oracle). *)
+
+val points :
+  ?quick:bool -> ?sizes:int list -> ?progress:(point -> unit) -> unit -> point list
+(** Quick mode: n in 64, 256 (CI smoke); full mode adds 1024 and 2048;
+    [?sizes] overrides either set.  Both suppression arms, all three
+    topologies.  [progress] fires after each completed point (points at
+    large n take minutes). *)
+
+val table : point list -> Table.t
+
+val run : ?quick:bool -> unit -> Table.t list
+(** Registry entry point (experiment E20). *)
+
+val to_json : ?quick:bool -> point list -> string
+
+val write_json : path:string -> ?quick:bool -> point list -> unit
+
+val pp_point : Format.formatter -> point -> unit
+(** One-line progress rendering for CLI streaming. *)

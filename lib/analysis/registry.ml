@@ -119,6 +119,14 @@ let all =
       claim = "ROADMAP: the simulator scales to thousands of nodes — O(n+m) engine memory, tracked events/sec";
       run = Bench_engine.run;
     };
+    {
+      id = "E20";
+      title = "Protocol macro-benchmarks (convergence, messages, allocation)";
+      claim =
+        "ROADMAP: the protocol hot path is allocation-lean — time/messages/allocated bytes \
+         to convergence at n up to 2048, with and without Info suppression";
+      run = Bench_proto.run;
+    };
   ]
 
 let find id =

@@ -217,6 +217,8 @@ end
 
 module Default = Harness (Mdst_core.Proto.Default)
 
+module Suppressed = Harness (Mdst_core.Proto.Suppressed)
+
 module Broken_automaton = Lossy.Make (Mdst_core.Proto.Default) (struct
   let drop_labels = [ "grant" ]
 end)

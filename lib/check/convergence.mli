@@ -82,6 +82,11 @@ end
 module Default : module type of Harness (Mdst_core.Proto.Default)
 (** The paper's protocol. *)
 
+module Suppressed : module type of Harness (Mdst_core.Proto.Suppressed)
+(** The Info dirty-bit-suppression variant; the adversary also corrupts
+    the suppression cache ([last_info] / [info_age]), so this validates
+    that the periodic refresh preserves self-stabilization. *)
+
 module Broken_automaton : Mdst_sim.Node.AUTOMATON
   with type state = Mdst_core.State.t
    and type msg = Mdst_core.Msg.t

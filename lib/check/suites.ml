@@ -194,13 +194,23 @@ let case_roundtrip =
 
 let faults = [ Pack plan_roundtrip; Pack plan_horizon; Pack case_roundtrip ]
 
-let all = prng @ graph @ faults
+(* ---------------- proto ---------------- *)
 
-let suite_names = [ "prng"; "graph"; "faults"; "all" ]
+(* Each test is a full clean-start run to convergence plus an observation
+   window, so the graphs stay small — the bounded suite runs this with
+   two-digit test counts. *)
+let proto = [ Pack (Searchpath.property ~min_n:4 ~max_n:10 ()) ]
+
+let all = prng @ graph @ faults @ proto
+
+let suite_names = [ "prng"; "graph"; "faults"; "proto"; "all" ]
 
 let by_name = function
   | "prng" -> prng
   | "graph" -> graph
   | "faults" -> faults
+  | "proto" -> proto
   | "all" -> all
-  | s -> invalid_arg (Printf.sprintf "Suites.by_name: unknown suite %S (want prng|graph|faults|all)" s)
+  | s ->
+      invalid_arg
+        (Printf.sprintf "Suites.by_name: unknown suite %S (want prng|graph|faults|proto|all)" s)

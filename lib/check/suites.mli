@@ -28,11 +28,15 @@ val faults : packed list
     strings parse back to equal values; generated plans respect the
     horizon. *)
 
+val proto : packed list
+(** {!Searchpath}: a completed fundamental-cycle Search reports the exact
+    tree path between its non-tree edge's endpoints. *)
+
 val all : packed list
-(** [prng @ graph @ faults]. *)
+(** [prng @ graph @ faults @ proto]. *)
 
 val by_name : string -> packed list
-(** ["prng" | "graph" | "faults" | "all"].
+(** ["prng" | "graph" | "faults" | "proto" | "all"].
     @raise Invalid_argument on anything else. *)
 
 val suite_names : string list

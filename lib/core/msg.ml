@@ -7,6 +7,7 @@
    experiment E5 checks against the O(n log n) message-length bound. *)
 
 module Sizing = Mdst_util.Sizing
+module Intset = Mdst_util.Intset
 
 (* One hop of a Search path: the information Action_on_Cycle needs about
    every node of the fundamental cycle. *)
@@ -28,8 +29,12 @@ type t =
   | Search of {
       s_edge : int * int;  (* (initiator id, responder id) — the non-tree edge *)
       s_idblock : int option;
-      s_stack : entry list;  (* DFS stack, excluding the receiver *)
-      s_visited : int list;  (* every id ever visited by this DFS *)
+      s_stack : entry list;
+          (* DFS stack, excluding the receiver, MOST RECENT HOP FIRST (the
+             initiator is the last element).  The reverse accumulation is
+             what makes each hop O(1): pushing is a cons, backtracking
+             pops the head — no per-hop copy of the whole path. *)
+      s_visited : Intset.t;  (* every id ever visited by this DFS *)
     }
   | Swap_req of {
       r_edge : int * int;  (* (s, t): s must re-root, t is the anchor *)
@@ -80,7 +85,7 @@ let bits ~n msg =
   | Search { s_stack; s_visited; _ } ->
       (2 * id) + id (* idblock *)
       + Sizing.list_bits ~n entry_bits (List.length s_stack)
-      + Sizing.list_bits ~n id (List.length s_visited)
+      + Sizing.list_bits ~n id (Intset.cardinal s_visited)
   | Swap_req { r_segment; _ } | Remove { m_segment = r_segment; _ }
   | Grant { g_segment = r_segment; _ } ->
       (5 * id) + Sizing.list_bits ~n id (List.length r_segment)

@@ -27,8 +27,11 @@ type t =
   | Search of {
       s_edge : int * int;  (** (initiator id, responder id): the non-tree edge *)
       s_idblock : int option;  (** set on Deblock-triggered searches *)
-      s_stack : entry list;  (** DFS stack, excluding the receiver *)
-      s_visited : int list;  (** every id the DFS has visited *)
+      s_stack : entry list;
+          (** DFS stack, excluding the receiver, most recent hop first
+              (initiator last) — pushing a hop is a cons, backtracking
+              pops the head, so forwarding is O(1) per hop *)
+      s_visited : Mdst_util.Intset.t;  (** every id the DFS has visited *)
     }  (** Fundamental-cycle detection (paper Figure 3). *)
   | Swap_req of {
       r_edge : int * int;  (** (s, t): [s] must re-root, [t] is the anchor *)

@@ -31,8 +31,21 @@ module Make (I : INPUT) = struct
 
   let name = "pif"
 
+  (* [I.parent_of] is fixed at functor application (the PIF runs over a
+     static tree), so each node's child list is computed once and reused:
+     waves restart every few ticks and the per-wave Array.to_list +
+     filter was a measurable allocation at scale. *)
+  let children_cache : (int, int list) Hashtbl.t = Hashtbl.create 64
+
   let children_ids ctx =
-    Array.to_list ctx.Node.neighbor_ids |> List.filter (fun u -> I.parent_of u = ctx.Node.id)
+    match Hashtbl.find_opt children_cache ctx.Node.node with
+    | Some children -> children
+    | None ->
+        let children =
+          Array.to_list ctx.Node.neighbor_ids |> List.filter (fun u -> I.parent_of u = ctx.Node.id)
+        in
+        Hashtbl.add children_cache ctx.Node.node children;
+        children
 
   let is_root ctx = I.parent_of ctx.Node.id = ctx.Node.id
 

@@ -18,7 +18,9 @@
 module type INPUT = sig
   val parent_of : int -> int
   (** [parent_of id] — parent identifier in the fixed tree; the root maps
-      to itself. *)
+      to itself.  Must be stable for the lifetime of the automaton
+      instance: per-node child lists are derived from it once and
+      cached. *)
 
   val value_of : int -> int
   (** The local value this node contributes to the aggregate. *)

@@ -31,6 +31,7 @@
 
 module Node = Mdst_sim.Node
 module P = Mdst_util.Prng
+module Intset = Mdst_util.Intset
 
 module type CONFIG = sig
   val busy_ttl : int
@@ -72,6 +73,19 @@ module type CONFIG = sig
       receipt; our default rate-limits starts to one rotating candidate
       per tick (same convergence, δ× less Search traffic).  [true] restores
       the paper's literal cadence. *)
+
+  val info_suppression : bool
+  (** Dirty-bit suppression of the periodic gossip: skip the tick's Info
+      broadcast when the public variables are unchanged since the last
+      one actually sent.  [false] is the paper's literal "send every
+      tick"; [true] trades gossip volume for a bounded staleness window
+      (see [info_refresh_every]). *)
+
+  val info_refresh_every : int
+  (** With suppression on, force a broadcast every this many ticks even
+      without change.  The refresh is what preserves self-stabilization:
+      a corrupted [last_info] cache can suppress at most this many ticks
+      of gossip before the real variables are re-advertised. *)
 end
 
 module Default_config : CONFIG = struct
@@ -82,6 +96,8 @@ module Default_config : CONFIG = struct
   let enable_reduction = true
   let graceful_reattach = false
   let search_on_info = false
+  let info_suppression = false
+  let info_refresh_every = 8
 end
 
 module No_deblock_config : CONFIG = struct
@@ -116,6 +132,12 @@ module Paper_faithful_config : CONFIG = struct
   let search_on_info = true
 end
 
+module Suppressed_config : CONFIG = struct
+  include Default_config
+
+  let info_suppression = true
+end
+
 module Make (C : CONFIG) : sig
   include Node.AUTOMATON with type state = State.t and type msg = Msg.t
 end = struct
@@ -127,7 +149,7 @@ end = struct
 
   let init = State.clean
 
-  let random_state = State.random
+  let random_state ctx rng = State.random ~suppression:C.info_suppression ctx rng
 
   let random_msg ctx rng =
     let rand_id () = P.int rng (max 1 (2 * ctx.Node.n)) in
@@ -152,7 +174,7 @@ end = struct
                s_idblock = (if P.bool rng then None else Some (rand_id ()));
                s_stack =
                  [ { Msg.e_id = rand_id (); e_deg = P.int rng 6; e_dist = P.int rng ctx.n } ];
-               s_visited = [ rand_id () ];
+               s_visited = Intset.singleton (rand_id ());
              })
     | 2 ->
         Some
@@ -179,35 +201,89 @@ end = struct
   (* ---------------------------------------------------------------- *)
 
   let info_of ctx (st : State.t) =
-    Msg.Info
-      {
-        i_root = st.root;
-        i_parent = st.parent;
-        i_dist = st.dist;
-        i_deg = State.tree_degree ctx st;
-        i_dmax = st.dmax;
-        i_color = st.color;
-        i_subtree_max = st.subtree_max;
-      }
+    {
+      Msg.i_root = st.root;
+      i_parent = st.parent;
+      i_dist = st.dist;
+      i_deg = State.tree_degree ctx st;
+      i_dmax = st.dmax;
+      i_color = st.color;
+      i_subtree_max = st.subtree_max;
+    }
 
-  let broadcast_info ctx st =
-    let payload = info_of ctx st in
-    Array.iter (fun nb -> ctx.Node.send nb payload) ctx.Node.neighbors
+  (* Would this tick's gossip repeat [last] exactly?  Field-by-field so
+     the suppressed path allocates nothing. *)
+  let info_unchanged ctx (st : State.t) (last : Msg.info) =
+    last.Msg.i_root = st.root
+    && last.i_parent = st.parent
+    && last.i_dist = st.dist
+    && last.i_dmax = st.dmax
+    && last.i_color = st.color
+    && last.i_subtree_max = st.subtree_max
+    && last.i_deg = State.tree_degree ctx st
+
+  (* One payload per tick, shared across all neighbour sends.  Under
+     suppression the broadcast is elided while nothing changed, with a
+     forced refresh every [info_refresh_every] ticks: a corrupted cache
+     can therefore silence a node only for a bounded window, after which
+     the true variables are re-advertised — the stabilization argument is
+     otherwise untouched.  Returns the state because the suppression
+     bookkeeping lives in it (identity when the mode is off). *)
+  let broadcast_info ctx (st : State.t) =
+    if not C.info_suppression then begin
+      let payload = Msg.Info (info_of ctx st) in
+      Array.iter (fun nb -> ctx.Node.send nb payload) ctx.Node.neighbors;
+      st
+    end
+    else
+      let unchanged =
+        match st.last_info with Some last -> info_unchanged ctx st last | None -> false
+      in
+      if unchanged && st.info_age + 1 < C.info_refresh_every then begin
+        ctx.Node.note_suppressed (Array.length ctx.Node.neighbors);
+        { st with State.info_age = st.info_age + 1 }
+      end
+      else begin
+        let i = info_of ctx st in
+        let payload = Msg.Info i in
+        Array.iter (fun nb -> ctx.Node.send nb payload) ctx.Node.neighbors;
+        { st with State.last_info = Some i; info_age = 0 }
+      end
+
+  (* Steady-state gossip overwhelmingly repeats the mirror it refreshes;
+     copying the views array (plus a view and a state record) on every
+     receipt made Info delivery the dominant allocation term at n in the
+     thousands (Θ(δ) words per receipt — ~n words per receipt on a star
+     hub).  When the incoming payload matches the already-fresh mirror the
+     result is value-identical to the input, so returning it unchanged is
+     observationally equivalent: no draw, send or fingerprint can tell. *)
+  let view_matches (v : State.view) (i : Msg.info) =
+    v.State.w_fresh
+    && v.w_root = i.Msg.i_root
+    && v.w_parent = i.i_parent
+    && v.w_dist = i.i_dist
+    && v.w_deg = i.i_deg
+    && v.w_dmax = i.i_dmax
+    && v.w_color = i.i_color
+    && v.w_subtree_max = i.i_subtree_max
 
   let update_view (st : State.t) slot (i : Msg.info) =
-    let views = Array.copy st.views in
-    views.(slot) <-
-      {
-        State.w_root = i.i_root;
-        w_parent = i.i_parent;
-        w_dist = i.i_dist;
-        w_deg = i.i_deg;
-        w_dmax = i.i_dmax;
-        w_color = i.i_color;
-        w_subtree_max = i.i_subtree_max;
-        w_fresh = true;
-      };
-    { st with views }
+    if view_matches st.views.(slot) i then st
+    else begin
+      let views = Array.copy st.views in
+      views.(slot) <-
+        {
+          State.w_root = i.i_root;
+          w_parent = i.i_parent;
+          w_dist = i.i_dist;
+          w_deg = i.i_deg;
+          w_dmax = i.i_dmax;
+          w_color = i.i_color;
+          w_subtree_max = i.i_subtree_max;
+          w_fresh = true;
+        };
+      { st with views }
+    end
 
   let send_to_id ctx id msg =
     match State.slot_of ctx id with
@@ -269,20 +345,32 @@ end = struct
     | None ->
     if State.new_root_candidate ctx st then create_new_root ctx st
     else if State.better_parent ctx st then begin
-      (* argmin over (root, neighbour id) among fresh mirrors. *)
-      let best = ref None in
-      Array.iteri
-        (fun slot (v : State.view) ->
-          if v.w_fresh && v.w_root < st.root && v.w_dist < ctx.Node.n then
-            match !best with
-            | Some (r, id, _)
-              when r < v.w_root || (r = v.w_root && id <= ctx.Node.neighbor_ids.(slot)) ->
-                ()
-            | _ -> best := Some (v.w_root, ctx.Node.neighbor_ids.(slot), v.w_dist))
-        st.views;
-      match !best with
-      | Some (root, parent_id, dist) -> { st with State.root; parent = parent_id; dist = dist + 1 }
-      | None -> st
+      (* argmin over (root, neighbour id) among fresh mirrors, tracked as a
+         slot index so the scan allocates nothing. *)
+      let views = st.views in
+      let best = ref (-1) in
+      for slot = 0 to Array.length views - 1 do
+        let v = views.(slot) in
+        if v.State.w_fresh && v.w_root < st.root && v.w_dist < ctx.Node.n then
+          if
+            !best < 0
+            ||
+            let b = views.(!best) in
+            v.w_root < b.State.w_root
+            || (v.w_root = b.State.w_root
+               && ctx.Node.neighbor_ids.(slot) < ctx.Node.neighbor_ids.(!best))
+          then best := slot
+      done;
+      if !best < 0 then st
+      else begin
+        let v = views.(!best) in
+        {
+          st with
+          State.root = v.State.w_root;
+          parent = ctx.Node.neighbor_ids.(!best);
+          dist = v.w_dist + 1;
+        }
+      end
     end
     else st
 
@@ -290,22 +378,27 @@ end = struct
   (* Maximum-degree module (continuous PIF + colour wave, §3.2.3)      *)
   (* ---------------------------------------------------------------- *)
 
+  (* Runs on every tick and every Info receipt, so it allocates only when
+     a variable actually moves: the children fold reads the views array
+     directly (no slot list), and each record update is skipped when the
+     new values equal the old. *)
   let apply_degree_rules ctx (st : State.t) =
-    let own_deg = State.tree_degree ctx st in
-    let stm =
-      List.fold_left
-        (fun acc slot -> max acc st.views.(slot).State.w_subtree_max)
-        own_deg
-        (State.tree_children_slots ctx st)
-    in
-    let st = { st with State.subtree_max = stm } in
+    let stm = ref (State.tree_degree ctx st) in
+    Array.iter
+      (fun (v : State.view) ->
+        if v.State.w_fresh && v.w_parent = ctx.Node.id && v.w_subtree_max > !stm then
+          stm := v.w_subtree_max)
+      st.views;
+    let stm = !stm in
+    let st = if stm = st.State.subtree_max then st else { st with State.subtree_max = stm } in
     if st.parent = ctx.Node.id then
       if st.dmax <> stm then { st with State.dmax = stm; color = not st.color } else st
     else
       match State.slot_of ctx st.parent with
       | Some slot when st.views.(slot).State.w_fresh ->
           let v = st.views.(slot) in
-          { st with State.dmax = v.w_dmax; color = v.w_color }
+          if st.dmax = v.State.w_dmax && st.color = v.w_color then st
+          else { st with State.dmax = v.w_dmax; color = v.w_color }
       | Some _ | None -> st
 
   let recompute ctx st = apply_degree_rules ctx (apply_tree_rules ctx st)
@@ -317,51 +410,52 @@ end = struct
   let self_entry ctx (st : State.t) =
     { Msg.e_id = ctx.Node.id; e_deg = State.tree_degree ctx st; e_dist = st.dist }
 
-  (* Continue a DFS currently standing at this node; [stack] excludes us. *)
+  (* Continue a DFS currently standing at this node; [stack] excludes us
+     and is carried most-recent-first (see {!Msg}): advancing pushes our
+     entry with a cons, dead-ending pops the head to backtrack — each hop
+     costs O(1) in list cells where the forward-ordered representation
+     re-copied the whole path (O(L) per hop, O(L²) per search). *)
   let continue_search ctx (st : State.t) ~edge ~idblock ~stack ~visited =
     let me = ctx.Node.id in
-    let visited = if List.mem me visited then visited else me :: visited in
-    let next_slot = ref None in
-    Array.iteri
-      (fun slot uid ->
-        if
-          State.is_tree_edge ctx st slot
-          && (not (List.mem uid visited))
-          &&
-          match !next_slot with
-          | Some best -> uid < ctx.Node.neighbor_ids.(best)
-          | None -> true
-        then next_slot := Some slot)
-      ctx.Node.neighbor_ids;
-    match !next_slot with
-    | Some slot ->
+    let visited = Intset.add me visited in
+    (* Smallest-id unvisited tree neighbour, tracked as a slot index so the
+       per-hop scan allocates nothing (runs on every Search delivery). *)
+    let ids = ctx.Node.neighbor_ids in
+    let best = ref (-1) in
+    for slot = 0 to Array.length ids - 1 do
+      let uid = ids.(slot) in
+      if
+        State.is_tree_edge ctx st slot
+        && (not (Intset.mem uid visited))
+        && (!best < 0 || uid < ids.(!best))
+      then best := slot
+    done;
+    match !best with
+    | slot when slot >= 0 ->
         ctx.Node.send ctx.Node.neighbors.(slot)
           (Msg.Search
              {
                s_edge = edge;
                s_idblock = idblock;
-               s_stack = stack @ [ self_entry ctx st ];
+               s_stack = self_entry ctx st :: stack;
                s_visited = visited;
              })
-    | None -> (
+    | _ -> (
         (* Dead end: backtrack to the previous stack element, if any. *)
-        match List.rev stack with
+        match stack with
         | [] -> () (* whole tree explored without reaching the responder *)
-        | last :: before_rev -> (
+        | last :: before -> (
             match State.slot_of ctx last.Msg.e_id with
             | Some slot when State.is_tree_edge ctx st slot ->
                 ctx.Node.send ctx.Node.neighbors.(slot)
                   (Msg.Search
-                     {
-                       s_edge = edge;
-                       s_idblock = idblock;
-                       s_stack = List.rev before_rev;
-                       s_visited = visited;
-                     })
+                     { s_edge = edge; s_idblock = idblock; s_stack = before; s_visited = visited })
             | Some _ | None -> ()))
 
   let start_search ctx (st : State.t) ~responder_id ~idblock =
-    continue_search ctx st ~edge:(ctx.Node.id, responder_id) ~idblock ~stack:[] ~visited:[]
+    continue_search ctx st
+      ~edge:(ctx.Node.id, responder_id)
+      ~idblock ~stack:[] ~visited:Intset.empty
 
   (* ---------------------------------------------------------------- *)
   (* Improve: the three-pass edge swap                                 *)
@@ -380,29 +474,46 @@ end = struct
     let bound = if deg_max >= st.dmax then deg_max - 1 else deg_max in
     max (State.tree_degree ctx st) v.State.w_deg < bound
 
-  let segment_pred me segment =
-    let rec go prev = function
-      | x :: rest -> if x = me then prev else go (Some x) rest
-      | [] -> None
+  (* Everything a segment handler needs to know about its own position,
+     gathered in ONE traversal (the handlers used to rescan the list once
+     per question).  First-occurrence semantics for [pred]/[succ] — under
+     corruption a segment may carry duplicate ids, and the behaviour must
+     match the original left-to-right scans exactly. *)
+  type seg_scan = {
+    sc_present : bool;
+    sc_pred : int option;  (* element before the first occurrence *)
+    sc_succ : int option;  (* element after the first occurrence *)
+    sc_is_last : bool;  (* the physically last element equals the probe *)
+  }
+
+  let scan_segment me segment =
+    let rec go prev pred succ found last = function
+      | [] ->
+          {
+            sc_present = found;
+            sc_pred = pred;
+            sc_succ = succ;
+            sc_is_last = (match last with Some x -> x = me | None -> false);
+          }
+      | x :: rest ->
+          if found then
+            (* the first element seen after the first occurrence is succ *)
+            let succ = match succ with None -> Some x | s -> s in
+            go (Some x) pred succ true (Some x) rest
+          else if x = me then go (Some x) prev succ true (Some x) rest
+          else go (Some x) pred succ false (Some x) rest
     in
-    go None segment
+    go None None None false None segment
 
-  let segment_succ me segment =
-    let rec go = function
-      | a :: b :: _ when a = me -> Some b
-      | _ :: rest -> go rest
-      | [] -> None
-    in
-    go segment
+  let segment_pred me segment = (scan_segment me segment).sc_pred
 
-  let is_last me segment = match List.rev segment with last :: _ -> last = me | [] -> false
-
-  (* After any re-parenting, descendants must refresh their distances. *)
+  (* After any re-parenting, descendants must refresh their distances.
+     Returns the state: the closing gossip may update the suppression
+     bookkeeping. *)
   let push_update_dist ctx (st : State.t) =
+    let payload = Msg.Update_dist { u_dist = st.State.dist; u_ttl = ctx.Node.n } in
     List.iter
-      (fun slot ->
-        ctx.Node.send ctx.Node.neighbors.(slot)
-          (Msg.Update_dist { u_dist = st.State.dist; u_ttl = ctx.Node.n }))
+      (fun slot -> ctx.Node.send ctx.Node.neighbors.(slot) payload)
       (State.tree_children_slots ctx st);
     broadcast_info ctx st
 
@@ -471,9 +582,7 @@ end = struct
     match segment with
     | [ _ ] -> (
         match commit_at_s ctx st ~edge ~target ~deg_max ~segment with
-        | Some st ->
-            push_update_dist ctx st;
-            st
+        | Some st -> push_update_dist ctx st
         | None -> st)
     | me :: next :: _ when me = ctx.Node.id -> (
         if
@@ -501,9 +610,10 @@ end = struct
 
   let handle_remove ctx (st : State.t) ~edge ~target ~deg_max ~segment =
     let me = ctx.Node.id in
-    if not (List.mem me segment) then st
+    let scan = scan_segment me segment in
+    if not scan.sc_present then st
     else if st.pending <> None || not (State.locally_stabilized ctx st) then st
-    else if is_last me segment then begin
+    else if scan.sc_is_last then begin
       (* We are [lower]: final validation (paper's target_remove), then
          grant. *)
       let w, z = target in
@@ -526,7 +636,7 @@ end = struct
             State.pending = Some { p_edge = edge; p_target = target; p_ttl = lock_ttl ctx };
           }
         in
-        (match segment_pred me segment with
+        (match scan.sc_pred with
         | Some prev ->
             send_to_id ctx prev
               (Msg.Grant
@@ -537,7 +647,7 @@ end = struct
     end
     else
       (* Interior hop: the chain must still ascend through us. *)
-      match segment_succ me segment with
+      match scan.sc_succ with
       | Some next when st.parent = next ->
           let st =
             {
@@ -560,9 +670,7 @@ end = struct
             (* We are s: commit or abort (the lock clears either way). *)
             let st = { st with State.pending = None } in
             match commit_at_s ctx st ~edge ~target ~deg_max ~segment with
-            | Some st ->
-                push_update_dist ctx st;
-                st
+            | Some st -> push_update_dist ctx st
             | None -> st)
         | _ -> (
             match segment_pred me segment with
@@ -581,24 +689,24 @@ end = struct
     match State.slot_of ctx nid with
     | None -> st
     | Some slot ->
-        let views = Array.copy st.State.views in
-        let v = views.(slot) in
-        views.(slot) <-
-          {
-            v with
-            State.w_parent = (match parent with Some p -> p | None -> v.State.w_parent);
-            w_dist = dist;
-            w_fresh = true;
-          };
-        { st with State.views = views }
+        let v = st.State.views.(slot) in
+        let w_parent = match parent with Some p -> p | None -> v.State.w_parent in
+        if v.State.w_fresh && v.w_parent = w_parent && v.w_dist = dist then st
+        else begin
+          let views = Array.copy st.State.views in
+          views.(slot) <- { v with State.w_parent; w_dist = dist; w_fresh = true };
+          { st with State.views = views }
+        end
 
   let handle_reverse ctx (st : State.t) ~src ~edge ~dist ~segment =
     let me = ctx.Node.id in
     let sender_id = Graph_id.of_src ctx src in
+    (* One scan answers presence, pred and succ for us; the sender's own
+       pred needs a second scan — a corrupt segment can repeat ids, so it
+       cannot be derived from ours. *)
+    let scan = scan_segment me segment in
     match st.State.pending with
-    | Some p
-      when p.p_edge = edge && List.mem me segment && segment_pred me segment = Some sender_id
-      ->
+    | Some p when p.p_edge = edge && scan.sc_present && scan.sc_pred = Some sender_id ->
         (* Flip: the sender (previous segment node) becomes our parent.  Its
            own parent is the node before it on the segment (or the anchor
            endpoint of the improving edge when it is s). *)
@@ -617,13 +725,12 @@ end = struct
             color = not st.color (* paper Fig. 2 line 5 *);
           }
         in
-        (match segment_succ me segment with
+        (match scan.sc_succ with
         | Some next ->
             send_to_id ctx next
               (Msg.Reverse { v_edge = edge; v_dist = st.State.dist; v_segment = segment })
         | None -> () (* we are lower: our old parent edge just left the tree *));
-        push_update_dist ctx st;
-        st
+        push_update_dist ctx st
     | Some _ | None -> st
 
   (* ---------------------------------------------------------------- *)
@@ -634,9 +741,9 @@ end = struct
     (* paper-gap: the paper floods Deblock over the whole tree minus the
        sender; Fürer–Raghavachari show searching the blocking node's
        subtree suffices, so we restrict the flood there. *)
+    let payload = Msg.Deblock { d_idblock = idblock; d_ttl = ttl } in
     List.iter
-      (fun slot ->
-        ctx.Node.send ctx.Node.neighbors.(slot) (Msg.Deblock { d_idblock = idblock; d_ttl = ttl }))
+      (fun slot -> ctx.Node.send ctx.Node.neighbors.(slot) payload)
       (State.tree_children_slots ctx st)
 
   (* Decide and launch an improvement removing the cycle edge (w, z), where
@@ -657,13 +764,16 @@ end = struct
         let upper = if lower == w_entry then z_entry else w_entry in
         let target = (lower.Msg.e_id, upper.Msg.e_id) in
         let ids = List.map (fun e -> e.Msg.e_id) path in
-        let pos id =
-          let rec go i = function
-            | x :: rest -> if x = id then i else go (i + 1) rest
-            | [] -> -1
-          in
-          go 0 ids
-        in
+        (* Index the path once: position and entry of the FIRST occurrence
+           of each id (a corrupt path can repeat ids, and every lookup
+           below must behave like the left-to-right scan it replaces). *)
+        let index : (int, int * Msg.entry) Hashtbl.t = Hashtbl.create 16 in
+        List.iteri
+          (fun i e ->
+            if not (Hashtbl.mem index e.Msg.e_id) then Hashtbl.add index e.Msg.e_id (i, e))
+          path;
+        let pos id = match Hashtbl.find_opt index id with Some (i, _) -> i | None -> -1 in
+        let entry_of id = Option.map snd (Hashtbl.find_opt index id) in
         let lower_pos = pos lower.Msg.e_id in
         let s_is_initiator = lower_pos <= min (pos w_entry.Msg.e_id) (pos z_entry.Msg.e_id) in
         let rec take_until acc = function
@@ -678,7 +788,6 @@ end = struct
         | Some segment ->
             (* Ascending sanity: distances along the segment must decrease by
                exactly one per hop, otherwise our picture is stale. *)
-            let entry_of id = List.find_opt (fun e -> e.Msg.e_id = id) path in
             let dists = List.filter_map entry_of segment |> List.map (fun e -> e.Msg.e_dist) in
             let rec strictly_descending = function
               | a :: (b :: _ as rest) -> a = b + 1 && strictly_descending rest
@@ -702,8 +811,12 @@ end = struct
                 ~target ~deg_max ~segment)
 
   let action_on_cycle ctx (st : State.t) ~initiator_id ~idblock ~stack =
-    let path = stack @ [ self_entry ctx st ] in
-    let interior = match stack with [] -> [] | _ :: rest -> rest in
+    (* [stack] arrives most-recent-first; one List.rev here rebuilds the
+       forward path (initiator first, us last) so every fold below keeps
+       the original left-to-right, first-occurrence semantics. *)
+    let fwd = List.rev stack in
+    let path = fwd @ [ self_entry ctx st ] in
+    let interior = match fwd with [] -> [] | _ :: rest -> rest in
     let deg_i =
       match State.slot_of ctx initiator_id with
       | Some slot when st.State.views.(slot).State.w_fresh -> st.State.views.(slot).State.w_deg
@@ -797,10 +910,9 @@ end = struct
     if st.State.parent = sender_id && ttl > 0 && st.State.dist <> dist + 1 then begin
       let st = patch_view st ctx ~nid:sender_id ~parent:None ~dist in
       let st = { st with State.dist = dist + 1 } in
+      let payload = Msg.Update_dist { u_dist = st.State.dist; u_ttl = ttl - 1 } in
       List.iter
-        (fun slot ->
-          ctx.Node.send ctx.Node.neighbors.(slot)
-            (Msg.Update_dist { u_dist = st.State.dist; u_ttl = ttl - 1 }))
+        (fun slot -> ctx.Node.send ctx.Node.neighbors.(slot) payload)
         (State.tree_children_slots ctx st);
       st
     end
@@ -846,7 +958,8 @@ end = struct
           end
         end
       done;
-      { st with State.search_cursor = !cursor }
+      if !cursor = st.State.search_cursor then st
+      else { st with State.search_cursor = !cursor }
     end
 
   (* ---------------------------------------------------------------- *)
@@ -854,24 +967,26 @@ end = struct
   (* ---------------------------------------------------------------- *)
 
   let decay (st : State.t) =
-    let pending =
-      match st.State.pending with
-      | Some p when p.p_ttl > 1 -> Some { p with State.p_ttl = p.p_ttl - 1 }
-      | Some _ | None -> None
-    in
-    let deblock =
-      match st.State.deblock with
-      | Some (b, ttl) when ttl > 1 -> Some (b, ttl - 1)
-      | Some _ | None -> None
-    in
-    { st with State.pending; deblock }
+    match (st.State.pending, st.State.deblock) with
+    | None, None -> st (* nothing ticking down: the common case, no copy *)
+    | _ ->
+        let pending =
+          match st.State.pending with
+          | Some p when p.p_ttl > 1 -> Some { p with State.p_ttl = p.p_ttl - 1 }
+          | Some _ | None -> None
+        in
+        let deblock =
+          match st.State.deblock with
+          | Some (b, ttl) when ttl > 1 -> Some (b, ttl - 1)
+          | Some _ | None -> None
+        in
+        { st with State.pending; deblock }
 
   let on_tick ctx (st : State.t) =
     let st = decay st in
     let st = recompute ctx st in
     let st = maybe_start_search ctx st in
-    broadcast_info ctx st;
-    st
+    broadcast_info ctx st
 
   let on_message ctx (st : State.t) ~src msg =
     match msg with
@@ -907,3 +1022,4 @@ module No_prune = Make (No_prune_config)
 module Tree_only = Make (Tree_only_config)
 module Graceful = Make (Graceful_config)
 module Paper_faithful = Make (Paper_faithful_config)
+module Suppressed = Make (Suppressed_config)

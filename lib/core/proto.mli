@@ -51,6 +51,17 @@ module type CONFIG = sig
   (** Paper Figure 2 line 2 starts Cycle_Search upon every Info receipt;
       our default rate-limits starts to one rotating candidate per tick.
       [true] restores the paper's literal cadence. *)
+
+  val info_suppression : bool
+  (** Dirty-bit suppression of the periodic gossip: skip a tick's Info
+      broadcast when the public variables are unchanged since the last
+      one actually sent.  [false] (default) is the paper's literal
+      send-every-tick behaviour. *)
+
+  val info_refresh_every : int
+  (** With suppression on, force a broadcast at least every this many
+      ticks: the bounded-staleness window that preserves
+      self-stabilization when the suppression cache itself is corrupted. *)
 end
 
 module Default_config : CONFIG
@@ -64,6 +75,10 @@ module Tree_only_config : CONFIG
 module Graceful_config : CONFIG
 
 module Paper_faithful_config : CONFIG
+
+module Suppressed_config : CONFIG
+(** Default behaviour plus Info dirty-bit suppression (refresh every 8
+    ticks) — the gossip-volume arm of benchmark E20. *)
 
 module Make (_ : CONFIG) : sig
   include Mdst_sim.Node.AUTOMATON with type state = State.t and type msg = Msg.t
@@ -80,3 +95,5 @@ module Tree_only : Mdst_sim.Node.AUTOMATON with type state = State.t and type ms
 module Graceful : Mdst_sim.Node.AUTOMATON with type state = State.t and type msg = Msg.t
 
 module Paper_faithful : Mdst_sim.Node.AUTOMATON with type state = State.t and type msg = Msg.t
+
+module Suppressed : Mdst_sim.Node.AUTOMATON with type state = State.t and type msg = Msg.t

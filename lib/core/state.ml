@@ -33,6 +33,12 @@ type t = {
   pending : pending option;
   deblock : (int * int) option;  (* (idblock, remaining ticks) *)
   search_cursor : int;  (* rotates over neighbour slots for Search starts *)
+  (* Info dirty-bit suppression bookkeeping (inert — None/0 — unless the
+     config enables suppression): the public-variable snapshot last
+     gossiped and the ticks elapsed since, driving the periodic refresh
+     that keeps stabilization under a corrupted cache. *)
+  last_info : Msg.info option;
+  info_age : int;
 }
 
 let unknown_view = {
@@ -86,10 +92,17 @@ let tree_children_slots ctx st =
    upper bound on the network size: claims with dist >= n are ignored and
    holding one makes the node a new-root candidate. *)
 
-let better_parent ctx st =
-  Array.exists
-    (fun v -> v.w_fresh && v.w_root < st.root && v.w_dist < ctx.Mdst_sim.Node.n)
-    st.views
+(* The stabilization predicates run on every tick and every Search hop;
+   the scans are top-level tail-recursive functions (not closures passed
+   to Array.exists/for_all, nor local recursion capturing the state) so
+   the hot path allocates nothing. *)
+let rec better_parent_from views root n i =
+  i < Array.length views
+  &&
+  let v = views.(i) in
+  (v.w_fresh && v.w_root < root && v.w_dist < n) || better_parent_from views root n (i + 1)
+
+let better_parent ctx st = better_parent_from st.views st.root ctx.Mdst_sim.Node.n 0
 
 let coherent_parent ctx st =
   if st.parent = ctx.Mdst_sim.Node.id then st.root = ctx.id
@@ -119,9 +132,21 @@ let new_root_candidate ctx st =
 
 let tree_stabilized ctx st = (not (better_parent ctx st)) && not (new_root_candidate ctx st)
 
-let degree_stabilized st = Array.for_all (fun v -> v.w_fresh && v.w_dmax = st.dmax) st.views
+let rec degree_stabilized_from views dmax i =
+  i >= Array.length views
+  ||
+  let v = views.(i) in
+  v.w_fresh && v.w_dmax = dmax && degree_stabilized_from views dmax (i + 1)
 
-let color_stabilized st = Array.for_all (fun v -> v.w_fresh && v.w_color = st.color) st.views
+let degree_stabilized st = degree_stabilized_from st.views st.dmax 0
+
+let rec color_stabilized_from views color i =
+  i >= Array.length views
+  ||
+  let v = views.(i) in
+  v.w_fresh && v.w_color = color && color_stabilized_from views color (i + 1)
+
+let color_stabilized st = color_stabilized_from st.views st.color 0
 
 let locally_stabilized ctx st =
   tree_stabilized ctx st && degree_stabilized st && color_stabilized st
@@ -141,11 +166,13 @@ let clean ctx =
     pending = None;
     deblock = None;
     search_cursor = 0;
+    last_info = None;
+    info_age = 0;
   }
 
 (* The self-stabilization adversary: any variable can hold any (type-correct)
    value, mirrors included. *)
-let random ctx rng =
+let random ?(suppression = false) ctx rng =
   let module P = Mdst_util.Prng in
   let deg = Array.length ctx.Mdst_sim.Node.neighbors in
   let rand_id () = P.int rng (max 1 (2 * ctx.Mdst_sim.Node.n)) in
@@ -183,6 +210,23 @@ let random ctx rng =
            });
     deblock = (if P.bool rng then None else Some (rand_id (), P.int rng 8));
     search_cursor = (if deg = 0 then 0 else P.int rng deg);
+    (* Extra draws ONLY in suppression mode, and placed after every other
+       field: configurations without suppression keep a bit-identical
+       draw sequence, which the exact-replay fault goldens depend on. *)
+    last_info =
+      (if suppression && P.bool rng then
+         Some
+           {
+             Msg.i_root = rand_id ();
+             i_parent = rand_id ();
+             i_dist = P.int rng (2 * ctx.n);
+             i_deg = P.int rng (deg + 2);
+             i_dmax = P.int rng (ctx.n + 1);
+             i_color = P.bool rng;
+             i_subtree_max = P.int rng (ctx.n + 1);
+           }
+       else None);
+    info_age = (if suppression then P.int rng 16 else 0);
   }
 
 (* --- Metering (experiment E5) --------------------------------------------- *)
@@ -191,7 +235,12 @@ let bits ~n st =
   let id = Sizing.id_bits ~n in
   let own = (5 * id) + Sizing.bool_bits + (3 * id) (* pending + deblock + cursor *) in
   let per_view = (6 * id) + (2 * Sizing.bool_bits) in
-  own + (Array.length st.views * per_view)
+  (* Suppression cache: the snapshot (6 ids + colour) plus the age
+     counter, only when the mode is on and a snapshot is held. *)
+  let suppression =
+    match st.last_info with None -> 0 | Some _ -> (7 * id) + Sizing.bool_bits
+  in
+  own + (Array.length st.views * per_view) + suppression
 
 let pp ctx ppf st =
   Format.fprintf ppf "{id=%d root=%d parent=%d dist=%d deg=%d dmax=%d stm=%d%s%s}"

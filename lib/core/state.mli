@@ -33,6 +33,11 @@ type t = {
   pending : pending option;
   deblock : (int * int) option;  (** (idblock, remaining ticks) *)
   search_cursor : int;  (** rotates over neighbour slots for Search starts *)
+  last_info : Msg.info option;
+      (** Info dirty-bit suppression: snapshot of the public variables as
+          last gossiped.  Inert ([None]) unless the protocol config enables
+          suppression. *)
+  info_age : int;  (** ticks since the last actual Info broadcast *)
 }
 
 val unknown_view : view
@@ -78,9 +83,12 @@ val locally_stabilized : 'msg Mdst_sim.Node.ctx -> t -> bool
 val clean : 'msg Mdst_sim.Node.ctx -> t
 (** Factory state: own root, empty mirror. *)
 
-val random : 'msg Mdst_sim.Node.ctx -> Mdst_util.Prng.t -> t
+val random : ?suppression:bool -> 'msg Mdst_sim.Node.ctx -> Mdst_util.Prng.t -> t
 (** The self-stabilization adversary: every variable, mirror included,
-    takes an arbitrary (type-correct) value. *)
+    takes an arbitrary (type-correct) value.  With [~suppression:true]
+    the gossip-suppression cache ([last_info] / [info_age]) is also drawn
+    arbitrarily — the extra draws happen only in that mode, so existing
+    exact-replay executions are unaffected. *)
 
 (** {1 Metering / debug} *)
 

@@ -12,9 +12,13 @@ type observation =
   | Obs_fault of { kind : string; detail : string; round : int; time : float }
 
 module Make (A : Node.AUTOMATON) = struct
-  type event = Tick of int | Deliver of { src : int; dst : int; msg : A.msg }
-
-  type tagged = { event : event; tag : int }
+  (* One heap entry.  Single-level on purpose: a delivery used to be an
+     inline [Deliver] record inside an {event; tag} wrapper (7 words); one
+     entry is pushed and popped per simulated send, so the extra block was
+     a visible slice of the protocol macro-benchmark's allocations (E20). *)
+  type tagged =
+    | Tick of { node : int; tag : int }
+    | Deliver of { src : int; dst : int; msg : A.msg; tag : int }
 
   (* An installed Fault.plan.  Channel events are indexed by ordered channel
      ([src * n + dst]) so a send on an untampered channel costs one hash
@@ -32,6 +36,13 @@ module Make (A : Node.AUTOMATON) = struct
   type t = {
     mutable graph : Graph.t;
     latency : Latency.t;
+    (* Cached [Latency.uniform_params]: when the model is the plain
+       uniform, [enqueue_raw] inlines the draw — same generator step,
+       bit-identical float arithmetic — instead of paying the closure
+       call's float boxing on every send. *)
+    lat_uniform : bool;
+    lat_lo : float;
+    lat_span : float;  (* hi -. lo, precomputed *)
     tick_period : float;
     rng : Prng.t;
     states : A.state array;
@@ -86,7 +97,13 @@ module Make (A : Node.AUTOMATON) = struct
      schedule. *)
   let enqueue_raw t ?extra_delay ?rng ~src ~dst msg =
     let rng = match rng with Some r -> r | None -> t.rng in
-    let lat = Latency.sample t.latency rng ~src ~dst in
+    let lat =
+      if t.lat_uniform then
+        (* Exactly [lo +. Prng.float rng (hi -. lo)], with the float kept
+           unboxed end to end (Prng.raw53 returns an immediate). *)
+        t.lat_lo +. (t.lat_span *. (float_of_int (Prng.raw53 rng) /. 9007199254740992.0))
+      else Latency.sample t.latency rng ~src ~dst
+    in
     let arrival =
       match extra_delay with
       | None ->
@@ -102,7 +119,7 @@ module Make (A : Node.AUTOMATON) = struct
     in
     Metrics.record_send t.metrics ~label:(A.msg_label msg)
       ~bits:(A.msg_bits ~n:(Graph.n t.graph) msg);
-    Heap.push t.heap ~prio:arrival { event = Deliver { src; dst; msg }; tag = t.current_tag + 1 }
+    Heap.push t.heap ~prio:arrival (Deliver { src; dst; msg; tag = t.current_tag + 1 })
 
   let in_window (w : Fault.window) round = w.from_round <= round && round <= w.upto_round
 
@@ -161,6 +178,7 @@ module Make (A : Node.AUTOMATON) = struct
           if not (Graph.mem_edge t.graph i dst) then
             invalid_arg (Printf.sprintf "Engine: node %d sending to non-neighbour %d" i dst);
           enqueue t ~src:i ~dst msg);
+      note_suppressed = (fun k -> Metrics.record_suppressed t.metrics k);
       rng = Prng.create 0 (* replaced below *);
       now = (fun () -> t.now);
     }
@@ -172,10 +190,18 @@ module Make (A : Node.AUTOMATON) = struct
     if not (Mdst_graph.Algo.is_connected graph) then
       invalid_arg "Engine.create: graph must be connected";
     let rng = Prng.create seed in
+    let lat_lo, lat_span, lat_uniform =
+      match Latency.uniform_params latency with
+      | Some (lo, hi) -> (lo, hi -. lo, true)
+      | None -> (0.0, 0.0, false)
+    in
     let t =
       {
         graph;
         latency;
+        lat_uniform;
+        lat_lo;
+        lat_span;
         tick_period;
         rng;
         states = Array.make n (Obj.magic 0);
@@ -222,7 +248,7 @@ module Make (A : Node.AUTOMATON) = struct
     | `Clean | `Custom _ -> ());
     (* Arm the periodic timers with a random phase each. *)
     for i = 0 to n - 1 do
-      Heap.push t.heap ~prio:(Prng.float rng tick_period) { event = Tick i; tag = 1 }
+      Heap.push t.heap ~prio:(Prng.float rng tick_period) (Tick { node = i; tag = 1 })
     done;
     t
 
@@ -242,8 +268,7 @@ module Make (A : Node.AUTOMATON) = struct
 
   let in_flight_exists t pred =
     List.exists
-      (fun (_, { event; _ }) ->
-        match event with Deliver { msg; _ } -> pred msg | Tick _ -> false)
+      (fun (_, ev) -> match ev with Deliver { msg; _ } -> pred msg | Tick _ -> false)
       (Heap.to_list t.heap)
 
   let set_state t i s = t.states.(i) <- s
@@ -270,8 +295,8 @@ module Make (A : Node.AUTOMATON) = struct
      KEPT (see engine.mli): later traffic stays ordered after the lost
      messages' arrival times, as on a real FIFO link that lost content. *)
   let purge_channel t ~src ~dst =
-    Heap.filter t.heap (fun _ { event; _ } ->
-        match event with
+    Heap.filter t.heap (fun _ ev ->
+        match ev with
         | Deliver d -> not (d.src = src && d.dst = dst)
         | Tick _ -> true)
 
@@ -283,8 +308,8 @@ module Make (A : Node.AUTOMATON) = struct
     let old_graph = t.graph in
     (* Messages in flight on vanished edges are lost with the edge. *)
     ignore
-      (Heap.filter t.heap (fun _ { event; _ } ->
-           match event with
+      (Heap.filter t.heap (fun _ ev ->
+           match ev with
            | Deliver { src; dst; _ } -> Graph.mem_edge new_graph src dst
            | Tick _ -> true));
     (* Surviving channels keep their FIFO floor; new channels (and re-added
@@ -447,22 +472,25 @@ module Make (A : Node.AUTOMATON) = struct
 
   let step t =
     apply_due_faults t;
-    match Heap.pop t.heap with
-    | None -> false
-    | Some (time, { event; tag }) ->
+    if Heap.is_empty t.heap then false
+    else begin
+      (* top_prio + drop_min instead of pop: no option/tuple per event. *)
+      let time = Heap.top_prio t.heap in
+      let ev = Heap.drop_min t.heap in
         t.now <- max t.now time;
+        let tag = match ev with Tick { tag; _ } | Deliver { tag; _ } -> tag in
         t.current_tag <- tag;
         if tag > t.round then t.round <- tag;
-        (match event with
-        | Tick i ->
+        (match ev with
+        | Tick { node = i; _ } ->
             (match t.observer with
             | Some f -> f (Obs_tick { node = i; round = t.round; time = t.now })
             | None -> ());
             t.states.(i) <- A.on_tick t.ctxs.(i) t.states.(i);
             Metrics.record_state_bits t.metrics
               (A.state_bits ~n:(Graph.n t.graph) t.states.(i));
-            Heap.push t.heap ~prio:(t.now +. t.tick_period) { event = Tick i; tag = tag + 1 }
-        | Deliver { src; dst; msg } ->
+            Heap.push t.heap ~prio:(t.now +. t.tick_period) (Tick { node = i; tag = tag + 1 })
+        | Deliver { src; dst; msg; _ } ->
             (match t.observer with
             | Some f ->
                 f (Obs_deliver
@@ -472,6 +500,7 @@ module Make (A : Node.AUTOMATON) = struct
             Metrics.record_delivery t.metrics;
             t.states.(dst) <- A.on_message t.ctxs.(dst) t.states.(dst) ~src msg);
         true
+    end
 
   type outcome = {
     converged : bool;

@@ -1,20 +1,32 @@
 module Prng = Mdst_util.Prng
 
-type t = { name : string; sample : Prng.t -> src:int -> dst:int -> float }
+type t = {
+  name : string;
+  sample : Prng.t -> src:int -> dst:int -> float;
+  (* Set iff this is the plain uniform model: the engine inlines that
+     draw on its per-send path (bit-identical arithmetic, same single
+     generator step) to avoid the closure-call float boxing. *)
+  uniform_range : (float * float) option;
+}
 
 let constant d =
   if d <= 0.0 then invalid_arg "Latency.constant: delay must be positive";
-  { name = "constant"; sample = (fun _ ~src:_ ~dst:_ -> d) }
+  { name = "constant"; sample = (fun _ ~src:_ ~dst:_ -> d); uniform_range = None }
 
 let uniform ?(lo = 0.5) ?(hi = 1.5) () =
   if lo <= 0.0 || hi < lo then invalid_arg "Latency.uniform";
-  { name = "uniform"; sample = (fun rng ~src:_ ~dst:_ -> lo +. Prng.float rng (hi -. lo)) }
+  {
+    name = "uniform";
+    sample = (fun rng ~src:_ ~dst:_ -> lo +. Prng.float rng (hi -. lo));
+    uniform_range = Some (lo, hi);
+  }
 
 let exponential ?(mean = 1.0) () =
   if mean <= 0.0 then invalid_arg "Latency.exponential";
   {
     name = "exponential";
     sample = (fun rng ~src:_ ~dst:_ -> 0.01 +. Prng.exponential rng (1.0 /. mean));
+    uniform_range = None;
   }
 
 (* Deterministic per-link hash so the slowed set is stable across a run.
@@ -30,6 +42,7 @@ let slow_links ?(factor = 10.0) ?(fraction = 0.15) ~base seed =
       (fun rng ~src ~dst ->
         let d = base.sample rng ~src ~dst in
         if link_hash seed src dst < fraction then d *. factor else d);
+    uniform_range = None;
   }
 
 let node_skew ?(max_factor = 8.0) ~base seed =
@@ -40,9 +53,12 @@ let node_skew ?(max_factor = 8.0) ~base seed =
         let d = base.sample rng ~src ~dst in
         let f = 1.0 +. (link_hash seed dst dst *. (max_factor -. 1.0)) in
         d *. f);
+    uniform_range = None;
   }
 
 let sample t rng ~src ~dst = t.sample rng ~src ~dst
+
+let uniform_params t = t.uniform_range
 
 let name t = t.name
 

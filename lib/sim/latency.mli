@@ -28,6 +28,12 @@ val node_skew : ?max_factor:float -> base:t -> int -> t
 
 val sample : t -> Mdst_util.Prng.t -> src:int -> dst:int -> float
 
+val uniform_params : t -> (float * float) option
+(** [Some (lo, hi)] iff the model is the plain {!uniform}: the engine
+    inlines that draw on its per-send hot path (same single generator
+    step, bit-identical arithmetic) to avoid closure-call float
+    boxing.  Composite models wrapping a uniform base report [None]. *)
+
 val name : t -> string
 
 val by_name : string -> int -> t

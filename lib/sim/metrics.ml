@@ -11,6 +11,7 @@ type t = {
   mutable total_bits : int;
   mutable max_state_bits : int;
   mutable max_msg_bits : int;
+  mutable suppressed : int;
 }
 
 let create () =
@@ -21,6 +22,7 @@ let create () =
     total_bits = 0;
     max_state_bits = 0;
     max_msg_bits = 0;
+    suppressed = 0;
   }
 
 let record_send t ~label ~bits =
@@ -34,6 +36,10 @@ let record_send t ~label ~bits =
   if bits > t.max_msg_bits then t.max_msg_bits <- bits
 
 let record_delivery t = t.deliveries <- t.deliveries + 1
+
+let record_suppressed t k = t.suppressed <- t.suppressed + k
+
+let suppressed_sends t = t.suppressed
 
 let record_state_bits t b = if b > t.max_state_bits then t.max_state_bits <- b
 
@@ -62,10 +68,11 @@ let reset t =
   t.deliveries <- 0;
   t.total_bits <- 0;
   t.max_state_bits <- 0;
-  t.max_msg_bits <- 0
+  t.max_msg_bits <- 0;
+  t.suppressed <- 0
 
 let pp ppf t =
-  Format.fprintf ppf "@[<v>messages=%d delivered=%d bits=%d state<=%db msg<=%db@," t.sends
-    t.deliveries t.total_bits t.max_state_bits t.max_msg_bits;
+  Format.fprintf ppf "@[<v>messages=%d delivered=%d bits=%d state<=%db msg<=%db suppressed=%d@,"
+    t.sends t.deliveries t.total_bits t.max_state_bits t.max_msg_bits t.suppressed;
   List.iter (fun (k, v) -> Format.fprintf ppf "  %-10s %d@," k v) (messages_by_label t);
   Format.fprintf ppf "@]"

@@ -9,6 +9,14 @@ val record_send : t -> label:string -> bits:int -> unit
 
 val record_delivery : t -> unit
 
+val record_suppressed : t -> int -> unit
+(** [record_suppressed t k] counts [k] sends elided by the Info dirty-bit
+    suppression mode (the gossip a node would have emitted but proved
+    redundant).  These never reach the channel, so they appear in no other
+    counter. *)
+
+val suppressed_sends : t -> int
+
 val record_state_bits : t -> int -> unit
 
 val record_msg_peak_bits : t -> int -> unit

@@ -21,6 +21,10 @@ type 'msg ctx = {
   neighbors : int array;  (** node indices of the one-hop neighbourhood *)
   neighbor_ids : int array;  (** their protocol identifiers, same order *)
   send : int -> 'msg -> unit;  (** [send dst msg]; [dst] must be a neighbour *)
+  note_suppressed : int -> unit;
+      (** [note_suppressed k]: the handler elided [k] sends it proved
+          redundant (Info dirty-bit suppression) — metering only, no
+          protocol-visible effect *)
   rng : Mdst_util.Prng.t;  (** node-local deterministic randomness *)
   now : unit -> float;  (** virtual time, for tracing only *)
 }

@@ -32,6 +32,7 @@ module Make (A : Node.AUTOMATON) = struct
           Metrics.record_send t.metrics ~label:(A.msg_label msg)
             ~bits:(A.msg_bits ~n:(Graph.n t.graph) msg);
           Queue.add (i, msg) t.outbox.(dst));
+      note_suppressed = (fun k -> Metrics.record_suppressed t.metrics k);
       rng = Prng.create 0;
       now = (fun () -> float_of_int t.round_count);
     }

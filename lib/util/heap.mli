@@ -17,7 +17,20 @@ val push : 'a t -> prio:float -> 'a -> unit
 
 val pop : 'a t -> (float * 'a) option
 (** Removes and returns the entry with the smallest priority (FIFO among
-    equal priorities). O(log n). *)
+    equal priorities). O(log n).  The heap drops its own reference to the
+    popped value: once the caller releases the result, the value is
+    collectable (the backing array never pins popped entries). *)
+
+val top_prio : 'a t -> float
+(** Priority of the minimum entry without removing it.  Allocation-free
+    (priorities live in an unboxed float array).
+    @raise Invalid_argument on an empty heap. *)
+
+val drop_min : 'a t -> 'a
+(** Removes the minimum entry and returns its value only — the
+    allocation-free form of {!pop} for hot loops that read the priority
+    first via {!top_prio}.  Same release guarantee as {!pop}.
+    @raise Invalid_argument on an empty heap. *)
 
 val peek : 'a t -> (float * 'a) option
 

@@ -1,0 +1,94 @@
+(* Persistent integer sets as little-endian Patricia tries (Okasaki &
+   Gill, "Fast Mergeable Integer Maps") with 32-element bitmap leaves,
+   carrying the cardinality so size queries are O(1).
+
+   The Search DFS of the protocol threads its visited-set through every
+   hop; [mem]/[add] must therefore be sub-linear (they are O(min(W, log
+   n))) and [cardinal] must be free (message-size metering runs on every
+   send).  A leaf covers the 32-key block [32k, 32k+31] as one bitmap:
+   protocol identifiers are dense (0..n-1), so a visited set of hundreds
+   of nodes keeps only n/32 leaves and a correspondingly short Branch
+   spine — [add] rebuilds ~5 fewer spine nodes per fresh insert than
+   one-key leaves, which is most of its allocation (E20).
+
+   The representation stays canonical — no leaf holds an empty bitmap,
+   so two tries hold the same elements iff they are structurally equal —
+   and polymorphic equality and hashing behave like set equality, which
+   keeps messages carrying a set comparable in tests and reproducers. *)
+
+type tree =
+  | Empty
+  | Leaf of int * int  (* (block prefix = key asr 5, bitmap of key land 31) *)
+  | Branch of int * int * tree * tree
+      (* (prefix, branching bit, subtree with bit clear, subtree with bit
+         set); [prefix] holds the block-prefix bits below the branching
+         bit. *)
+
+type t = { card : int; tree : tree }
+
+let empty = { card = 0; tree = Empty }
+
+let is_empty t = t.card = 0
+
+let cardinal t = t.card
+
+(* Branching-bit arithmetic; [land] with the two's-complement negation
+   isolates the lowest set bit, which works for negative keys too. *)
+let lowest_bit x = x land -x
+
+let branching_bit p0 p1 = lowest_bit (p0 lxor p1)
+
+let mask p m = p land (m - 1)
+
+let match_prefix k p m = mask k m = p
+
+let rec mem_tree pfx bit = function
+  | Empty -> false
+  | Leaf (p, bm) -> p = pfx && bm land bit <> 0
+  | Branch (p, m, l, r) ->
+      match_prefix pfx p m && if pfx land m = 0 then mem_tree pfx bit l else mem_tree pfx bit r
+
+let mem k t = mem_tree (k asr 5) (1 lsl (k land 31)) t.tree
+
+let join p0 t0 p1 t1 =
+  let m = branching_bit p0 p1 in
+  if p0 land m = 0 then Branch (mask p0 m, m, t0, t1) else Branch (mask p0 m, m, t1, t0)
+
+let rec add_tree pfx bit = function
+  | Empty -> Leaf (pfx, bit)
+  | Leaf (p, bm) as t ->
+      if p = pfx then if bm land bit <> 0 then t else Leaf (p, bm lor bit)
+      else join pfx (Leaf (pfx, bit)) p t
+  | Branch (p, m, l, r) as t ->
+      if match_prefix pfx p m then
+        if pfx land m = 0 then Branch (p, m, add_tree pfx bit l, r)
+        else Branch (p, m, l, add_tree pfx bit r)
+      else join pfx (Leaf (pfx, bit)) p t
+
+let add k t =
+  if mem k t then t
+  else { card = t.card + 1; tree = add_tree (k asr 5) (1 lsl (k land 31)) t.tree }
+
+let singleton k = { card = 1; tree = Leaf (k asr 5, 1 lsl (k land 31)) }
+
+let rec bit_index b i = if b = 1 then i else bit_index (b lsr 1) (i + 1)
+
+let rec fold_bits f acc base bm =
+  if bm = 0 then acc
+  else
+    let b = bm land -bm in
+    fold_bits f (f acc (base lor bit_index b 0)) base (bm land (bm - 1))
+
+let rec fold_tree f acc = function
+  | Empty -> acc
+  | Leaf (p, bm) -> fold_bits f acc (p lsl 5) bm
+  | Branch (_, _, l, r) -> fold_tree f (fold_tree f acc l) r
+
+let fold f acc t = fold_tree f acc t.tree
+
+let of_list xs = List.fold_left (fun t k -> add k t) empty xs
+
+let elements t = List.sort compare (fold (fun acc k -> k :: acc) [] t)
+
+let pp ppf t =
+  Format.fprintf ppf "{%s}" (String.concat "," (List.map string_of_int (elements t)))

@@ -1,0 +1,31 @@
+(** Persistent integer sets (little-endian Patricia tries with bitmap leaves) with O(1)
+    cardinality.  [mem] and [add] are O(min(W, log n)); the
+    representation is canonical, so structural equality is set equality.
+    Used for the visited-set the Search DFS threads through its
+    messages. *)
+
+type t
+
+val empty : t
+
+val is_empty : t -> bool
+
+val cardinal : t -> int
+(** O(1) — metered on every send by {!Mdst_core.Msg.bits}. *)
+
+val mem : int -> t -> bool
+
+val add : int -> t -> t
+(** Returns the set unchanged (physically) when the element is present. *)
+
+val singleton : int -> t
+
+val of_list : int list -> t
+
+val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
+(** Unspecified order. *)
+
+val elements : t -> int list
+(** Sorted ascending. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,26 +1,106 @@
-type t = { mutable state : int64 }
+(* SplitMix64, computed on two 32-bit native-int limbs.
 
-let golden_gamma = 0x9E3779B97F4A7C15L
+   The obvious representation — `{ mutable state : int64 }` — boxes every
+   Int64 intermediate on a non-flambda compiler: one [bits64] is ~8 heap
+   blocks, and the engine draws a latency per send, which made the PRNG
+   the single largest allocation source in protocol macro-benchmarks
+   (E20).  Native ints are immediate, so the same arithmetic carried as
+   (hi, lo) 32-bit limbs allocates nothing.  The limb pipeline is
+   bit-exact with the Int64 formulation (test/test_util.ml checks a
+   reference implementation draw-for-draw): every replay trace, golden
+   round count and recorded fault plan in the repository depends on these
+   streams staying identical.
 
-let mix64 z =
-  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
-  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
-  Int64.(logxor z (shift_right_logical z 31))
+   Limb arithmetic notes (native int is 63-bit):
+   - a 32x32 product needed in full is assembled from 16-bit halves
+     (partial products stay below 2^33);
+   - a product needed only mod 2^32 may use the native [*] directly:
+     native overflow wraps mod 2^63 and 2^32 divides 2^63, so the low 32
+     bits come out right regardless. *)
 
-let create seed = { state = mix64 (Int64.of_int seed) }
+type t = {
+  mutable hi : int;  (* bits 32..63 of the Weyl state, in [0, 2^32) *)
+  mutable lo : int;  (* bits 0..31 *)
+  mutable mhi : int;  (* scratch: high limb of the last mixed output *)
+  mutable mlo : int;  (* scratch: low limb *)
+}
 
-let copy t = { state = t.state }
+let mask32 = 0xFFFFFFFF
+
+(* golden gamma 0x9E3779B97F4A7C15 as limbs *)
+let gamma_hi = 0x9E3779B9
+
+let gamma_lo = 0x7F4A7C15
+
+(* Finalizer: z ^= z >>> 30; z *= 0xBF58476D1CE4E5B9;
+              z ^= z >>> 27; z *= 0x94D049BB133111EB;
+              z ^= z >>> 31.
+   Writes the result into the scratch limbs; allocates nothing. *)
+let mix_into t h l =
+  (* z ^= z >>> 30 *)
+  let l = l lxor ((l lsr 30) lor ((h lsl 2) land mask32)) in
+  let h = h lxor (h lsr 30) in
+  (* z *= 0xBF58476D_1CE4E5B9 *)
+  let l0 = l land 0xFFFF and l1 = l lsr 16 in
+  let p00 = l0 * 0xE5B9 and p01 = l0 * 0x1CE4 in
+  let p10 = l1 * 0xE5B9 and p11 = l1 * 0x1CE4 in
+  let mid = p01 + p10 in
+  let lowp = p00 + ((mid land 0xFFFF) lsl 16) in
+  let carry = (lowp lsr 32) + (mid lsr 16) + p11 in
+  let h = (carry + (l * 0xBF58476D) + (h * 0x1CE4E5B9)) land mask32 in
+  let l = lowp land mask32 in
+  (* z ^= z >>> 27 *)
+  let l = l lxor ((l lsr 27) lor ((h lsl 5) land mask32)) in
+  let h = h lxor (h lsr 27) in
+  (* z *= 0x94D049BB_133111EB *)
+  let l0 = l land 0xFFFF and l1 = l lsr 16 in
+  let p00 = l0 * 0x11EB and p01 = l0 * 0x1331 in
+  let p10 = l1 * 0x11EB and p11 = l1 * 0x1331 in
+  let mid = p01 + p10 in
+  let lowp = p00 + ((mid land 0xFFFF) lsl 16) in
+  let carry = (lowp lsr 32) + (mid lsr 16) + p11 in
+  let h = (carry + (l * 0x94D049BB) + (h * 0x133111EB)) land mask32 in
+  let l = lowp land mask32 in
+  (* z ^= z >>> 31 *)
+  let l = l lxor ((l lsr 31) lor ((h lsl 1) land mask32)) in
+  let h = h lxor (h lsr 31) in
+  t.mhi <- h;
+  t.mlo <- l
+
+(* state += golden_gamma, with the carry crossing the limb boundary. *)
+let advance t =
+  let lo = t.lo + gamma_lo in
+  t.lo <- lo land mask32;
+  t.hi <- (t.hi + gamma_hi + (lo lsr 32)) land mask32
+
+let create seed =
+  (* Int64.of_int sign-extends bit 62 into bit 63; [asr] reproduces it. *)
+  let t = { hi = (seed asr 32) land mask32; lo = seed land mask32; mhi = 0; mlo = 0 } in
+  mix_into t t.hi t.lo;
+  t.hi <- t.mhi;
+  t.lo <- t.mlo;
+  t
+
+let copy t = { hi = t.hi; lo = t.lo; mhi = 0; mlo = 0 }
+
+let next t =
+  advance t;
+  mix_into t t.hi t.lo
 
 let bits64 t =
-  t.state <- Int64.add t.state golden_gamma;
-  mix64 t.state
+  next t;
+  Int64.logor (Int64.shift_left (Int64.of_int t.mhi) 32) (Int64.of_int t.mlo)
 
 let split t =
-  let s = bits64 t in
-  { state = mix64 s }
+  next t;
+  let sh = t.mhi and sl = t.mlo in
+  mix_into t sh sl;
+  { hi = t.mhi; lo = t.mlo; mhi = 0; mlo = 0 }
 
 (* Non-negative 62-bit int from the top bits, fitting OCaml's native int. *)
-let bits t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
+let bits t =
+  next t;
+  (t.mhi lsl 30) lor (t.mlo lsr 2)
 
 let int t bound =
   if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
@@ -39,11 +119,19 @@ let int_in t lo hi =
   if lo > hi then invalid_arg "Prng.int_in: lo > hi";
   lo + int t (hi - lo + 1)
 
-let float t bound =
-  let r = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
-  bound *. (r /. 9007199254740992.0 (* 2^53 *))
+(* The 53-bit draw behind [float] (z >>> 11, exact in a double), as an
+   int: boxing-sensitive callers — the engine's per-send latency draw —
+   can keep the whole float computation unboxed.  One [next] per call,
+   exactly like [float]. *)
+let raw53 t =
+  next t;
+  (t.mhi lsl 21) lor (t.mlo lsr 11)
 
-let bool t = Int64.logand (bits64 t) 1L = 1L
+let float t bound = bound *. (float_of_int (raw53 t) /. 9007199254740992.0 (* 2^53 *))
+
+let bool t =
+  next t;
+  t.mlo land 1 = 1
 
 let bernoulli t p = float t 1.0 < p
 
@@ -75,11 +163,18 @@ let sample_without_replacement t k n =
   done;
   IS.elements !s
 
-(* Equals [float (create seed) 1.0] without allocating a generator — the
-   hot path of per-link latency hashing samples this once per send. *)
+(* Equals [float (create seed) 1.0]: mix once to initialise, advance by one
+   gamma, mix again, take the top 53 bits.  Runs on throwaway limbs — one
+   short-lived record, no Int64 boxes — once per send under the slow-links
+   / node-skew latency models. *)
 let float_of_seed seed =
-  let z = mix64 (Int64.add (mix64 (Int64.of_int seed)) golden_gamma) in
-  Int64.to_float (Int64.shift_right_logical z 11) /. 9007199254740992.0 (* 2^53 *)
+  let t = { hi = (seed asr 32) land mask32; lo = seed land mask32; mhi = 0; mlo = 0 } in
+  mix_into t t.hi t.lo;
+  t.hi <- t.mhi;
+  t.lo <- t.mlo;
+  advance t;
+  mix_into t t.hi t.lo;
+  float_of_int ((t.mhi lsl 21) lor (t.mlo lsr 11)) /. 9007199254740992.0 (* 2^53 *)
 
 let seed_of_string str =
   let h = ref (0xcbf29ce484222325L |> Int64.to_int) in

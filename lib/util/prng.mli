@@ -34,6 +34,12 @@ val int_in : t -> int -> int -> int
 val float : t -> float -> float
 (** [float t bound] is uniform in [\[0, bound)]. *)
 
+val raw53 : t -> int
+(** The 53-bit integer draw behind {!float} ([float t b] is
+    [b *. (float_of_int (raw53 t) /. 2.0 ** 53.0)]): one generator step,
+    returned as an immediate so boxing-sensitive callers can keep the
+    float arithmetic unboxed. *)
+
 val bool : t -> bool
 
 val bernoulli : t -> float -> bool

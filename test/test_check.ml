@@ -189,6 +189,33 @@ let test_case_rejects_malformed () =
   check "bad edge" true (rejects "n=4;edges=0~1;seed=1;plan=seed=0");
   check "unknown key" true (rejects "n=4;edges=0-1;wat=1")
 
+(* ---------------- protocol properties ---------------- *)
+
+(* Non-vacuity of the search-path property: on a ring (exactly one
+   non-tree edge) the spy must actually record completed searches after
+   convergence — a property that silently observes nothing would pass for
+   the wrong reason. *)
+let test_searchpath_not_vacuous () =
+  let module S = Mdst_check.Searchpath in
+  let case = { S.graph = Mdst_graph.Gen.ring 8; seed = 5 } in
+  let count = S.completed_count case in
+  check "searches completed on the converged ring" true (count > 0);
+  match S.prop case with
+  | Ok () -> ()
+  | Error reason -> Alcotest.fail ("search-path property failed on ring-8: " ^ reason)
+
+(* Convergence-under-adversity with Info dirty-bit suppression ON: the
+   adversary corrupts the suppression cache along with everything else, so
+   this validates that the bounded-staleness refresh preserves
+   self-stabilization (tentpole acceptance gate). *)
+let test_suppressed_convergence () =
+  let module C = Mdst_check.Convergence in
+  let property = C.Suppressed.property ~max_n:7 ~max_events:3 () in
+  match Property.check ~tests:6 ~seed:20090525 property with
+  | Property.Passed _ -> ()
+  | Property.Falsified c ->
+      Alcotest.fail (Property.render ~name:property.Property.name c)
+
 (* ---------------- shared suites ---------------- *)
 
 let suite_cases =
@@ -229,6 +256,12 @@ let () =
         [
           Alcotest.test_case "print/parse fixpoint" `Quick test_case_print_parse_fixpoint;
           Alcotest.test_case "rejects malformed" `Quick test_case_rejects_malformed;
+        ] );
+      ( "proto",
+        [
+          Alcotest.test_case "search-path spy not vacuous" `Quick test_searchpath_not_vacuous;
+          Alcotest.test_case "convergence with Info suppression" `Quick
+            test_suppressed_convergence;
         ] );
       ("suites", suite_cases);
     ]

@@ -7,6 +7,7 @@ module Graph = Mdst_graph.Graph
 module Gen = Mdst_graph.Gen
 module Tree = Mdst_graph.Tree
 module Prng = Mdst_util.Prng
+module Intset = Mdst_util.Intset
 module Node = Mdst_sim.Node
 module State = Mdst_core.State
 module Msg = Mdst_core.Msg
@@ -26,6 +27,7 @@ let make_ctx ?(n = 8) ~id ~neighbor_ids () =
     neighbors = Array.of_list (List.map (fun x -> x) neighbor_ids);
     neighbor_ids = Array.of_list neighbor_ids;
     send = (fun _ _ -> ());
+    note_suppressed = (fun _ -> ());
     rng = Prng.create 1;
     now = (fun () -> 0.0);
   }
@@ -42,7 +44,7 @@ let test_msg_labels () =
             i_subtree_max = 1;
           },
         "info" );
-      (Msg.Search { s_edge = (0, 1); s_idblock = None; s_stack = [ entry ]; s_visited = [ 0 ] }, "search");
+      (Msg.Search { s_edge = (0, 1); s_idblock = None; s_stack = [ entry ]; s_visited = Intset.singleton 0 }, "search");
       (Msg.Swap_req { r_edge = (0, 1); r_target = (2, 3); r_deg_max = 4; r_segment = [ 0 ] }, "swap-req");
       (Msg.Remove { m_edge = (0, 1); m_target = (2, 3); m_deg_max = 4; m_segment = [ 0 ] }, "remove");
       (Msg.Grant { g_edge = (0, 1); g_target = (2, 3); g_deg_max = 4; g_segment = [ 0 ] }, "grant");
@@ -61,7 +63,7 @@ let test_msg_bits_grow_with_path () =
         s_edge = (0, 1);
         s_idblock = None;
         s_stack = List.init k entry;
-        s_visited = List.init k Fun.id;
+        s_visited = Intset.of_list (List.init k Fun.id);
       }
   in
   check "longer path costs more bits" true (Msg.bits ~n:32 (mk 10) > Msg.bits ~n:32 (mk 2));
@@ -545,7 +547,7 @@ let test_pp_smoke () =
         s_edge = (1, 2);
         s_idblock = Some 3;
         s_stack = [ { Msg.e_id = 1; e_deg = 2; e_dist = 0 } ];
-        s_visited = [ 1 ];
+        s_visited = Intset.singleton 1;
       }
   in
   check "msg pp renders" true (String.length (Format.asprintf "%a" Msg.pp msg) > 10)

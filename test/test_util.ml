@@ -65,6 +65,49 @@ let test_float_bounds () =
     check "float range" true (v >= 0.0 && v < 2.5)
   done
 
+(* Reference SplitMix64 on Int64, straight from Steele-Lea-Flood.  The
+   shipped implementation carries the state as two 32-bit native-int limbs
+   (no Int64 boxing on the hot path); every replay trace and golden round
+   count depends on the limb pipeline staying bit-exact with this. *)
+module Ref64 = struct
+  type t = { mutable state : int64 }
+
+  let mix64 z =
+    let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+    let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+    Int64.(logxor z (shift_right_logical z 31))
+
+  let create seed = { state = mix64 (Int64.of_int seed) }
+
+  let bits64 t =
+    t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+    mix64 t.state
+end
+
+let test_prng_matches_int64_reference () =
+  (* Seeds exercising sign extension, carry chains and large magnitudes. *)
+  let seeds = [ 0; 1; -1; 42; -7; 0xbe2c; max_int; min_int; 0x7ABC_1234_5678; -123456789 ] in
+  List.iter
+    (fun seed ->
+      let a = Prng.create seed and r = Ref64.create seed in
+      for i = 1 to 10_000 do
+        let x = Prng.bits64 a and y = Ref64.bits64 r in
+        if x <> y then
+          Alcotest.failf "seed %d draw %d: limb %Lx <> reference %Lx" seed i x y
+      done)
+    seeds
+
+let test_prng_split_matches_reference () =
+  (* split = mix64 of the next raw output, on every lineage. *)
+  let a = Prng.create 2009 and r = Ref64.create 2009 in
+  for _ = 1 to 100 do
+    let child = Prng.split a in
+    let expected = { Ref64.state = Ref64.mix64 (Ref64.bits64 r) } in
+    for _ = 1 to 16 do
+      Alcotest.(check int64) "child stream" (Ref64.bits64 expected) (Prng.bits64 child)
+    done
+  done
+
 let test_float_of_seed_matches_stream () =
   (* The allocation-free hash used by the latency hot path must equal the
      first draw of a fresh stream seeded the same way. *)
@@ -210,6 +253,64 @@ let test_heap_to_list () =
   Alcotest.(check int) "snapshot size" 3 (List.length l);
   Alcotest.(check int) "heap unchanged" 3 (Heap.length h)
 
+(* Retention: the heap must not pin popped/removed values in its backing
+   array.  Values are tracked through weak pointers; after the structural
+   operation and a full major collection the weak slots must be empty. *)
+
+let heap_fill h w k =
+  (* Separate function so no local reference to a pushed value survives in
+     the caller's frame. *)
+  for i = 0 to k - 1 do
+    let v = ref i in
+    Weak.set w i (Some v);
+    Heap.push h ~prio:(float_of_int i) v
+  done
+
+let heap_drain h =
+  let rec go () = match Heap.pop h with None -> () | Some _ -> go () in
+  go ()
+
+let weak_live w =
+  let live = ref 0 in
+  for i = 0 to Weak.length w - 1 do
+    if Weak.check w i then incr live
+  done;
+  !live
+
+let test_heap_pop_releases () =
+  let h = Heap.create ~capacity:4 () in
+  let w = Weak.create 8 in
+  heap_fill h w 8;
+  heap_drain h;
+  Gc.full_major ();
+  Alcotest.(check int) "no popped value retained" 0 (weak_live w);
+  (* The emptied heap must still work. *)
+  Heap.push h ~prio:1.0 (ref 42);
+  Alcotest.(check int) "heap usable after drain" 1 (Heap.length h)
+
+let test_heap_filter_releases () =
+  let h = Heap.create ~capacity:4 () in
+  let w = Weak.create 8 in
+  heap_fill h w 8;
+  let removed = Heap.filter h (fun prio _ -> prio < 4.0) in
+  Alcotest.(check int) "removed" 4 removed;
+  Gc.full_major ();
+  let live = weak_live w in
+  (* Read the heap AFTER the collection so [h] itself stays a GC root
+     throughout — otherwise the whole heap dies and the count is vacuous. *)
+  Alcotest.(check int) "survivors still in heap" 4 (Heap.length h);
+  Alcotest.(check int) "only survivors retained" 4 live
+
+let test_heap_clear_releases () =
+  let h = Heap.create ~capacity:4 () in
+  let w = Weak.create 8 in
+  heap_fill h w 8;
+  Heap.clear h;
+  Gc.full_major ();
+  let live = weak_live w in
+  Alcotest.(check int) "heap empty but alive" 0 (Heap.length h);
+  Alcotest.(check int) "no cleared value retained" 0 live
+
 let prop_heap_sorts =
   QCheck.Test.make ~name:"heap pops in nondecreasing priority order" ~count:300
     QCheck.(small_list (float_bound_inclusive 100.0))
@@ -279,6 +380,44 @@ let test_parallel_real_work () =
     (List.map f seeds)
     (Parallel.map ~domains:4 f seeds)
 
+(* ---------------- Intset ---------------- *)
+
+module Intset = Mdst_util.Intset
+
+let test_intset_basic () =
+  let s = Intset.of_list [ 3; 1; 4; 1; 5; 9; 2; 6 ] in
+  Alcotest.(check int) "cardinal dedups" 7 (Intset.cardinal s);
+  check "mem 4" true (Intset.mem 4 s);
+  check "mem 7" false (Intset.mem 7 s);
+  check "mem negative absent" false (Intset.mem (-1) s);
+  Alcotest.(check (list int)) "elements sorted" [ 1; 2; 3; 4; 5; 6; 9 ] (Intset.elements s);
+  check "empty" true (Intset.is_empty Intset.empty);
+  Alcotest.(check int) "singleton" 1 (Intset.cardinal (Intset.singleton 0));
+  (* Negative keys (corrupt ids) must round-trip too. *)
+  let neg = Intset.of_list [ -5; 3; -1 ] in
+  check "mem -5" true (Intset.mem (-5) neg);
+  Alcotest.(check int) "neg cardinal" 3 (Intset.cardinal neg)
+
+let test_intset_canonical () =
+  (* Patricia tries are canonical: insertion order must not matter for
+     structural equality (messages carrying visited-sets are compared
+     with polymorphic equality in tests and reproducers). *)
+  let a = Intset.of_list [ 1; 2; 3; 4; 5 ] in
+  let b = Intset.of_list [ 5; 3; 1; 4; 2 ] in
+  check "structural equality" true (a = b);
+  check "add existing is physically same" true (Intset.add 3 a == a)
+
+let prop_intset_model =
+  QCheck.Test.make ~name:"intset agrees with list model" ~count:300
+    QCheck.(list (int_range (-100) 100))
+    (fun xs ->
+      let s = Intset.of_list xs in
+      let model = List.sort_uniq compare xs in
+      Intset.elements s = model
+      && Intset.cardinal s = List.length model
+      && List.for_all (fun x -> Intset.mem x s) model
+      && not (Intset.mem 101 s))
+
 (* ---------------- Sizing ---------------- *)
 
 let test_sizing () =
@@ -303,6 +442,8 @@ let () =
           Alcotest.test_case "int rejects bad bounds" `Quick test_int_rejects_bad_bounds;
           Alcotest.test_case "float bounds" `Quick test_float_bounds;
           Alcotest.test_case "float_of_seed matches stream" `Quick test_float_of_seed_matches_stream;
+          Alcotest.test_case "matches Int64 reference" `Quick test_prng_matches_int64_reference;
+          Alcotest.test_case "split matches reference" `Quick test_prng_split_matches_reference;
           Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
           Alcotest.test_case "bernoulli rate" `Quick test_bernoulli_rate;
           Alcotest.test_case "exponential positive" `Quick test_exponential_positive;
@@ -321,8 +462,17 @@ let () =
           Alcotest.test_case "filter" `Quick test_heap_filter;
           Alcotest.test_case "filter keeps fifo ties" `Quick test_heap_filter_keeps_fifo;
           Alcotest.test_case "to_list snapshot" `Quick test_heap_to_list;
+          Alcotest.test_case "pop releases values" `Quick test_heap_pop_releases;
+          Alcotest.test_case "filter releases removed values" `Quick test_heap_filter_releases;
+          Alcotest.test_case "clear releases values" `Quick test_heap_clear_releases;
           q prop_heap_sorts;
           q prop_heap_grows;
+        ] );
+      ( "intset",
+        [
+          Alcotest.test_case "basic membership" `Quick test_intset_basic;
+          Alcotest.test_case "canonical equality" `Quick test_intset_canonical;
+          q prop_intset_model;
         ] );
       ( "parallel",
         [
