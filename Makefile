@@ -3,7 +3,7 @@
 DUNE ?= dune
 SIM   = $(DUNE) exec bin/mdst_sim.exe --
 
-.PHONY: all build test pbt pbt-long bench bench-json bench-proto bench-guard clean
+.PHONY: all build test pbt pbt-long explore mutate bench bench-json bench-proto bench-guard clean
 
 all: build
 
@@ -24,6 +24,18 @@ pbt: build
 pbt-long: build
 	$(SIM) pbt --tests 500 --seed 20090525 --max-nodes 14 --max-events 8
 	$(SIM) pbt --broken --tests 60 --seed 20090525
+
+# Bounded schedule exploration: exhaustive delivery interleavings of a
+# small instance, conformance against the reference model plus closure of
+# the legitimacy predicate on every path (see docs/TESTING.md).
+explore: build
+	$(SIM) explore -f complete -n 4
+	$(SIM) explore -f complete -n 4 --suppressed
+
+# Mutation-check the suite: each historical-bug mutant must be detected
+# when forced on and leave the probes silent when forced off.
+mutate: build
+	$(SIM) mutate
 
 bench: build
 	$(DUNE) exec bench/main.exe

@@ -441,6 +441,141 @@ let pbt_cmd =
        ~doc:"Property-based testing: generate random (topology, fault plan, seed) cases, check convergence-under-adversity, shrink failures to minimal reproducers.")
     term
 
+(* ---- explore ---- *)
+
+let explore_cmd =
+  let n_arg =
+    Arg.(value & opt int 4
+         & info [ "n" ] ~docv:"N"
+             ~doc:"Number of nodes.  Exploration is exponential in the schedule; keep $(docv) <= 5.")
+  in
+  let depth_arg =
+    Arg.(value & opt int 8 & info [ "max-depth" ] ~docv:"D" ~doc:"DFS depth cap (events per explored path).")
+  in
+  let configs_arg =
+    Arg.(value & opt int 20_000 & info [ "max-configs" ] ~docv:"C" ~doc:"Cap on distinct configurations expanded per initial configuration.")
+  in
+  let random_inits_arg =
+    Arg.(value & opt int 3 & info [ "random-inits" ] ~docv:"K" ~doc:"How many adversarial (random-state) initial configurations to explore.")
+  in
+  let walks_arg =
+    Arg.(value & opt int 2 & info [ "walks" ] ~docv:"K" ~doc:"Random lockstep walks (engine schedule-control hook vs model) to run after the DFS.")
+  in
+  let walk_steps_arg =
+    Arg.(value & opt int 400 & info [ "walk-steps" ] ~docv:"N" ~doc:"Events per random lockstep walk.")
+  in
+  let suppressed_arg =
+    Arg.(value & flag & info [ "suppressed" ] ~doc:"Explore the Info-suppression protocol variant instead of the default one.")
+  in
+  let quick_arg =
+    Arg.(value & flag & info [ "quick" ] ~doc:"CI smoke preset: clamps depth, config, init and walk budgets.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc:"On violation, also write the reproducers to $(docv) (CI artifact).")
+  in
+  let action family n seed input suppressed quick max_depth max_configs random_inits walks
+      walk_steps out =
+    let graph = graph_of ~family ~n ~seed ~shuffle_ids:false ~input in
+    let max_depth, max_configs, random_inits, walks, walk_steps =
+      if quick then
+        (min max_depth 6, min max_configs 3_000, min random_inits 2, min walks 1, min walk_steps 150)
+      else (max_depth, max_configs, random_inits, walks, walk_steps)
+    in
+    let module X =
+      (val (if suppressed then (module Mdst_check.Explore.Suppressed)
+            else (module Mdst_check.Explore.Default))
+          : Mdst_check.Explore.S)
+    in
+    Printf.printf "graph: %s  n=%d m=%d  variant: %s\n%!" family (Graph.n graph) (Graph.m graph)
+      (if suppressed then "suppressed" else "default");
+    let violations = ref [] in
+    let run_dfs label init =
+      let t0 = Sys.time () in
+      let stats, vio = X.dfs ~max_depth ~max_configs ~init graph in
+      Printf.printf "  dfs  %-16s %6d configs, %7d transitions, depth<=%d%s (%.1fs)%s\n%!" label
+        stats.Mdst_check.Explore.configs stats.transitions stats.max_depth_reached
+        (if stats.truncated then ", truncated" else "")
+        (Sys.time () -. t0)
+        (match vio with None -> "" | Some _ -> "  VIOLATION");
+      match vio with
+      | None -> ()
+      | Some v ->
+          violations :=
+            (label, Format.asprintf "%a" Mdst_check.Explore.pp_violation v) :: !violations
+    in
+    run_dfs "clean" `Clean;
+    run_dfs "legitimate" `Legitimate;
+    for i = 0 to random_inits - 1 do
+      run_dfs (Printf.sprintf "random:%d" (seed + i)) (`Random (seed + i))
+    done;
+    for i = 0 to walks - 1 do
+      let wseed = seed + 100 + i in
+      match X.walk ~steps:walk_steps ~seed:wseed ~init:`Random graph with
+      | Ok steps ->
+          Printf.printf "  walk random seed=%d: %d lockstep events conformant\n%!" wseed steps
+      | Error e -> violations := (Printf.sprintf "walk seed=%d" wseed, e) :: !violations
+    done;
+    match List.rev !violations with
+    | [] -> print_endline "explore: no conformance or closure violations"
+    | vs ->
+        List.iter (fun (l, v) -> Printf.printf "VIOLATION (%s): %s\n" l v) vs;
+        (match out with
+        | Some path ->
+            let oc = open_out path in
+            Printf.fprintf oc "graph: %s\n" (Mdst_graph.Io.to_string graph);
+            List.iter (fun (l, v) -> Printf.fprintf oc "%s: %s\n" l v) vs;
+            close_out oc;
+            Printf.printf "wrote %s\n" path
+        | None -> ());
+        exit 1
+  in
+  let term =
+    Term.(
+      const action $ family_arg $ n_arg $ seed_arg $ input_arg $ suppressed_arg $ quick_arg
+      $ depth_arg $ configs_arg $ random_inits_arg $ walks_arg $ walk_steps_arg $ out_arg)
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"Bounded schedule exploration: enumerate delivery interleavings of a small instance, checking the real protocol against the reference model and closure of the legitimacy predicate on every path.")
+    term
+
+(* ---- mutate ---- *)
+
+let mutate_cmd =
+  let only_arg =
+    Arg.(value & opt (some string) None
+         & info [ "only" ] ~docv:"NAME" ~doc:"Run a single mutant instead of the whole registry.")
+  in
+  let action only =
+    let module M = Mdst_check.Mutants in
+    let mutants = match only with None -> M.all | Some name -> [ M.find name ] in
+    let outcomes = List.map M.run mutants in
+    List.iter
+      (fun (o : M.outcome) ->
+        Printf.printf "%-24s %s\n" o.name o.source;
+        Printf.printf "  mutant on : %s  %s\n"
+          (if o.caught then "DETECTED (ok)" else "UNDETECTED (FAIL)")
+          o.on_detail;
+        Printf.printf "  mutant off: %s  %s\n%!"
+          (if o.clean then "silent (ok)" else "FALSE POSITIVE (FAIL)")
+          o.off_detail)
+      outcomes;
+    let bad = List.filter (fun o -> not (M.ok o)) outcomes in
+    if bad = [] then
+      Printf.printf "mutate: %d/%d mutants detected, no false positives\n"
+        (List.length outcomes) (List.length outcomes)
+    else begin
+      Printf.printf "mutate: %d of %d mutants FAILED: %s\n" (List.length bad)
+        (List.length outcomes)
+        (String.concat ", " (List.map (fun (o : M.outcome) -> o.name) bad));
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "mutate"
+       ~doc:"Mutation-check the suite: force each historical-bug mutant on (its probe must detect it) and off (the probe must stay silent).")
+    Term.(const action $ only_arg)
+
 (* ---- families ---- *)
 
 let families_cmd =
@@ -458,4 +593,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; solve_cmd; compare_cmd; props_cmd; experiments_cmd; bench_cmd; pbt_cmd; families_cmd ]))
+          [ run_cmd; solve_cmd; compare_cmd; props_cmd; experiments_cmd; bench_cmd; pbt_cmd; explore_cmd; mutate_cmd; families_cmd ]))

@@ -1,0 +1,4 @@
+(** Experiment module — the header comment of the .ml explains the setup
+    and the paper claim it checks; the registry maps it to its E-number. *)
+
+val run : ?quick:bool -> unit -> Table.t list

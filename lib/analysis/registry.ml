@@ -127,6 +127,14 @@ let all =
          to convergence at n up to 2048, with and without Info suppression";
       run = Bench_proto.run;
     };
+    {
+      id = "E21";
+      title = "Model conformance + schedule exploration coverage";
+      claim =
+        "Proof obligations quantify over all executions — report how much schedule space the \
+         conformance DFS and lockstep walks cover, with zero violations on a correct build";
+      run = Exp_explore.run;
+    };
   ]
 
 let find id =

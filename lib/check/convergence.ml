@@ -152,9 +152,13 @@ struct
        after a stop check already ran at round r — victory declared then
        would push the fault into the closure window. *)
     let base_stop = R.make_stop ~fixpoint () in
+    (* Mutant "stop-check-race" removes the [faults_pending] conjunct,
+       reopening the race this guard closes. *)
     let stop e =
       let held = base_stop e in
-      held && R.Engine.rounds e > last_fault_round && not (R.Engine.faults_pending e)
+      held
+      && R.Engine.rounds e > last_fault_round
+      && (Mdst_util.Mutation.enabled "stop-check-race" || not (R.Engine.faults_pending e))
     in
     let outcome = R.Engine.run engine ~max_rounds ~check_every:2 ~stop () in
     let final_graph = R.Engine.graph engine in

@@ -194,6 +194,113 @@ let case_roundtrip =
 
 let faults = [ Pack plan_roundtrip; Pack plan_horizon; Pack case_roundtrip ]
 
+(* ---------------- model ---------------- *)
+
+module Model = Mdst_model.Model
+module Projection = Mdst_core.Projection
+
+(* A small engine exists here only to manufacture realistic configurations
+   (clean or adversarial) for the model-level properties; the walks
+   themselves are pure [Model.step] iteration. *)
+module ME = Mdst_sim.Engine.Make (Mdst_core.Proto.Default)
+
+let seed_model (c : Conformance.case) =
+  let init = match c.Conformance.init with `Clean -> `Clean | `Random -> `Random in
+  let e = ME.create ~seed:c.Conformance.seed ~init c.Conformance.graph in
+  Model.make ~params:Model.default ~states:(ME.states e) ~in_flight:(ME.in_flight e)
+    c.Conformance.graph
+
+(* Walk [steps] uniformly random enabled events (every tick, every
+   non-empty channel head), calling [f] on each configuration/event pair
+   before stepping.  Event choice derives from the case seed only, so a
+   case string replays the walk. *)
+let walk_model (c : Conformance.case) f =
+  let rng = Prng.create (c.Conformance.seed lxor 0x5eed) in
+  let cur = ref (seed_model c) in
+  for _ = 1 to c.Conformance.events do
+    let n = Graph.n (!cur).Model.graph in
+    let delivers =
+      Model.nonempty_channels !cur
+      |> List.map (fun (src, dst) -> Model.Deliver { src; dst })
+    in
+    let events = Array.of_list (List.init n (fun v -> Model.Tick v) @ delivers) in
+    let ev = events.(Prng.int rng (Array.length events)) in
+    f !cur ev;
+    cur := Model.step !cur ev
+  done;
+  !cur
+
+let model_gen = Conformance.gen_case ~min_n:3 ~max_n:7 ~max_events:60 ()
+
+let model_step_determinism =
+  Property.make ~name:"model:step-determinism" ~gen:model_gen
+    ~shrink:Conformance.shrink_case ~print:Conformance.case_to_string
+    (fun c ->
+      let bad = ref None in
+      ignore
+        (walk_model c (fun cfg ev ->
+             if !bad = None && not (Model.equal (Model.step cfg ev) (Model.step cfg ev))
+             then bad := Some (Model.event_to_string ev)));
+      match !bad with
+      | None -> Ok ()
+      | Some ev ->
+          Error (Printf.sprintf "two applications of event %s disagree (step impure?)" ev))
+
+let model_projection_roundtrip =
+  Property.make ~name:"model:projection-roundtrip" ~gen:model_gen
+    ~shrink:Conformance.shrink_case ~print:Conformance.case_to_string
+    (fun c ->
+      let bad = ref false in
+      ignore
+        (walk_model c (fun cfg _ ->
+             let p = Projection.of_states cfg.Model.nodes in
+             if not (Projection.equal (Projection.of_string (Projection.to_string p)) p)
+             then bad := true));
+      if !bad then Error "of_string (to_string projection) differs from projection"
+      else Ok ())
+
+let model_fingerprint_stability =
+  (* The explorer keys its visited set on [fingerprint_states]; two things
+     must hold for that to be sound: the allocation-free hash agrees with
+     the projection-level one, and the phase bits (busy, deblock — excluded
+     from the hash so post-convergence quiescence stays detectable) never
+     influence it. *)
+  Property.make ~name:"model:fingerprint-stability" ~gen:model_gen
+    ~shrink:Conformance.shrink_case ~print:Conformance.case_to_string
+    (fun c ->
+      let bad = ref None in
+      ignore
+        (walk_model c (fun cfg _ ->
+             if !bad = None then begin
+               let p = Projection.of_states cfg.Model.nodes in
+               let fp = Projection.fingerprint p in
+               if Projection.fingerprint_states cfg.Model.nodes <> fp then
+                 bad := Some "fingerprint_states disagrees with fingerprint-of-projection"
+               else
+                 let flipped =
+                   Array.map
+                     (fun nd ->
+                       {
+                         nd with
+                         Projection.p_busy = not nd.Projection.p_busy;
+                         p_deblock = not nd.Projection.p_deblock;
+                       })
+                     p
+                 in
+                 if Projection.fingerprint flipped <> fp then
+                   bad := Some "phase bits leak into the fingerprint"
+             end));
+      match !bad with None -> Ok () | Some why -> Error why)
+
+let model =
+  [
+    Pack model_step_determinism;
+    Pack model_projection_roundtrip;
+    Pack model_fingerprint_stability;
+    Pack (Conformance.Default.property ~max_n:6 ~max_events:150 ());
+    Pack (Conformance.Suppressed.property ~max_n:6 ~max_events:150 ());
+  ]
+
 (* ---------------- proto ---------------- *)
 
 (* Each test is a full clean-start run to convergence plus an observation
@@ -201,16 +308,18 @@ let faults = [ Pack plan_roundtrip; Pack plan_horizon; Pack case_roundtrip ]
    two-digit test counts. *)
 let proto = [ Pack (Searchpath.property ~min_n:4 ~max_n:10 ()) ]
 
-let all = prng @ graph @ faults @ proto
+let all = prng @ graph @ faults @ model @ proto
 
-let suite_names = [ "prng"; "graph"; "faults"; "proto"; "all" ]
+let suite_names = [ "prng"; "graph"; "faults"; "model"; "proto"; "all" ]
 
 let by_name = function
   | "prng" -> prng
   | "graph" -> graph
   | "faults" -> faults
+  | "model" -> model
   | "proto" -> proto
   | "all" -> all
   | s ->
       invalid_arg
-        (Printf.sprintf "Suites.by_name: unknown suite %S (want prng|graph|faults|proto|all)" s)
+        (Printf.sprintf
+           "Suites.by_name: unknown suite %S (want prng|graph|faults|model|proto|all)" s)

@@ -28,15 +28,22 @@ val faults : packed list
     strings parse back to equal values; generated plans respect the
     horizon. *)
 
+val model : packed list
+(** {!Mdst_model.Model} and its checking stack: [step] determinism over
+    random enabled-event walks, {!Mdst_core.Projection} string round-trip,
+    fingerprint consistency (allocation-free hash = projection hash, phase
+    bits excluded), and the {!Conformance} lockstep property for both the
+    Default and Suppressed variants. *)
+
 val proto : packed list
 (** {!Searchpath}: a completed fundamental-cycle Search reports the exact
     tree path between its non-tree edge's endpoints. *)
 
 val all : packed list
-(** [prng @ graph @ faults @ proto]. *)
+(** [prng @ graph @ faults @ model @ proto]. *)
 
 val by_name : string -> packed list
-(** ["prng" | "graph" | "faults" | "proto" | "all"].
+(** ["prng" | "graph" | "faults" | "model" | "proto" | "all"].
     @raise Invalid_argument on anything else. *)
 
 val suite_names : string list

@@ -67,20 +67,9 @@ let legitimate graph states =
 
 (* Quiescence fingerprint over the variables that matter for the tree and
    its degree bookkeeping (search cursors and TTLs are excluded: they keep
-   moving forever by design). *)
-let fingerprint (states : State.t array) =
-  let h = ref 0x12345 in
-  let mix v = h := (!h * 1_000_003) lxor v land max_int in
-  Array.iter
-    (fun (st : State.t) ->
-      mix st.State.root;
-      mix st.State.parent;
-      mix st.State.dist;
-      mix st.State.dmax;
-      mix (Bool.to_int st.State.color);
-      mix st.State.subtree_max)
-    states;
-  !h
+   moving forever by design).  The hash itself lives in {!Projection} so the
+   conformance tooling observes the protocol on exactly the same footing. *)
+let fingerprint = Projection.fingerprint_states
 
 let tree_degree_now graph states =
   match tree_of_states graph states with None -> None | Some t -> Some (Tree.max_degree t)

@@ -27,13 +27,23 @@ struct
       let compare = compare
     end) in
     let trees = ref ES.empty in
+    (* A node holding a swap lock means the parent pointers are mid-swap:
+       the Remove/Grant/Reverse passes re-parent the segment one hop at a
+       time, so the edge sets seen in that window are construction
+       intermediates, not trees the protocol chose.  Counting them made
+       E16/E17 over-report distinct_trees during search churn; sample tree
+       identity only from swap-quiescent configurations, the same basis as
+       Checker.fingerprint / Projection. *)
+    let mid_swap () =
+      Array.exists (fun st -> st.State.pending <> None) (Engine.states engine)
+    in
     let sample () =
       incr samples;
       match Checker.tree_of_states graph (Engine.states engine) with
       | Some tree ->
           incr spanning;
           outage := 0;
-          trees := ES.add (Tree.edge_list tree) !trees;
+          if not (mid_swap ()) then trees := ES.add (Tree.edge_list tree) !trees;
           if Tree.max_degree tree > !max_degree_seen then max_degree_seen := Tree.max_degree tree
       | None ->
           incr outage;

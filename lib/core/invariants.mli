@@ -18,7 +18,11 @@ type report = {
   spanning_samples : int;  (** samples where a spanning tree existed *)
   availability : float;  (** spanning_samples / samples *)
   longest_outage : int;  (** longest run of consecutive non-spanning samples *)
-  distinct_trees : int;  (** how many different edge sets were traversed *)
+  distinct_trees : int;
+      (** how many different edge sets were traversed, counted only over
+          swap-quiescent samples (no node holding a pending swap lock) —
+          mid-swap edge sets are Remove/Grant/Reverse construction
+          intermediates, not trees the protocol chose *)
   max_degree_seen : int;  (** worst deg(T) over the spanning samples *)
   final_spanning : bool;
 }

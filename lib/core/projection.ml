@@ -1,0 +1,127 @@
+(* Stable observable-state projection shared by the conformance driver,
+   the schedule explorer and the golden traces.  See projection.mli for
+   what is (and is deliberately not) observable. *)
+
+type node = {
+  p_root : int;
+  p_parent : int;
+  p_dist : int;
+  p_dmax : int;
+  p_color : bool;
+  p_subtree_max : int;
+  p_busy : bool;
+  p_deblock : bool;
+}
+
+type t = node array
+
+let of_state (st : State.t) =
+  {
+    p_root = st.State.root;
+    p_parent = st.State.parent;
+    p_dist = st.State.dist;
+    p_dmax = st.State.dmax;
+    p_color = st.State.color;
+    p_subtree_max = st.State.subtree_max;
+    p_busy = st.State.pending <> None;
+    p_deblock = st.State.deblock <> None;
+  }
+
+let of_states states = Array.map of_state states
+
+let equal (a : t) b = a = b
+
+let diff (a : t) b =
+  if Array.length a <> Array.length b then
+    [ (-1, Printf.sprintf "length: %d <> %d" (Array.length a) (Array.length b)) ]
+  else begin
+    let out = ref [] in
+    let add i field l r = out := (i, Printf.sprintf "%s: %s <> %s" field l r) :: !out in
+    let int i field l r = if l <> r then add i field (string_of_int l) (string_of_int r) in
+    let bool i field l r =
+      if l <> r then add i field (string_of_bool l) (string_of_bool r)
+    in
+    for i = 0 to Array.length a - 1 do
+      let x = a.(i) and y = b.(i) in
+      int i "root" x.p_root y.p_root;
+      int i "parent" x.p_parent y.p_parent;
+      int i "dist" x.p_dist y.p_dist;
+      int i "dmax" x.p_dmax y.p_dmax;
+      bool i "color" x.p_color y.p_color;
+      int i "subtree_max" x.p_subtree_max y.p_subtree_max;
+      bool i "busy" x.p_busy y.p_busy;
+      bool i "deblock" x.p_deblock y.p_deblock
+    done;
+    List.rev !out
+  end
+
+(* The historical Checker.fingerprint mixing: replay goldens and the
+   quiet-rounds quiescence detector depend on these exact constants and
+   this exact field order. *)
+let fingerprint (p : t) =
+  let h = ref 0x12345 in
+  let mix v = h := (!h * 1_000_003) lxor v land max_int in
+  Array.iter
+    (fun nd ->
+      mix nd.p_root;
+      mix nd.p_parent;
+      mix nd.p_dist;
+      mix nd.p_dmax;
+      mix (Bool.to_int nd.p_color);
+      mix nd.p_subtree_max)
+    p;
+  !h
+
+let fingerprint_states (states : State.t array) =
+  let h = ref 0x12345 in
+  let mix v = h := (!h * 1_000_003) lxor v land max_int in
+  Array.iter
+    (fun (st : State.t) ->
+      mix st.State.root;
+      mix st.State.parent;
+      mix st.State.dist;
+      mix st.State.dmax;
+      mix (Bool.to_int st.State.color);
+      mix st.State.subtree_max)
+    states;
+  !h
+
+let node_to_string nd =
+  Printf.sprintf "%d/%d/%d/%d/%c/%d/%c/%c" nd.p_root nd.p_parent nd.p_dist nd.p_dmax
+    (if nd.p_color then 't' else 'f')
+    nd.p_subtree_max
+    (if nd.p_busy then 'b' else '-')
+    (if nd.p_deblock then 'd' else '-')
+
+let to_string p = String.concat " " (Array.to_list (Array.map node_to_string p))
+
+let node_of_string s =
+  match String.split_on_char '/' s with
+  | [ root; parent; dist; dmax; color; stm; busy; deblock ] ->
+      let int what x =
+        match int_of_string_opt x with
+        | Some v -> v
+        | None -> failwith (Printf.sprintf "Projection.of_string: bad %s %S" what x)
+      in
+      let flag what t x =
+        if x = t then true
+        else if x = "-" || x = "f" then false
+        else failwith (Printf.sprintf "Projection.of_string: bad %s %S" what x)
+      in
+      {
+        p_root = int "root" root;
+        p_parent = int "parent" parent;
+        p_dist = int "dist" dist;
+        p_dmax = int "dmax" dmax;
+        p_color = flag "color" "t" color;
+        p_subtree_max = int "subtree_max" stm;
+        p_busy = flag "busy" "b" busy;
+        p_deblock = flag "deblock" "d" deblock;
+      }
+  | _ -> failwith (Printf.sprintf "Projection.of_string: bad node %S" s)
+
+let of_string s =
+  String.split_on_char ' ' s
+  |> List.filter (fun x -> x <> "")
+  |> List.map node_of_string
+  |> Array.of_list

@@ -1,0 +1,54 @@
+(** Stable observable-state projection.
+
+    The conformance driver, the schedule explorer and the golden traces all
+    compare the real protocol against the reference model on the same
+    footing: a per-node record of the public protocol variables plus two
+    phase bits (is the node a segment participant of a pending swap, is it
+    serving a Deblock).  Search cursors, TTL counters and the Info
+    suppression cache are deliberately excluded — they keep moving forever
+    by design and are engine-schedule artifacts, not protocol outcomes.
+
+    {!fingerprint} hashes only the six quiescence fields (root, parent,
+    dist, dmax, color, subtree_max) with the exact mixing
+    [Checker.fingerprint] has always used, so replay goldens and the
+    quiet-rounds convergence detector keep their historical values; the
+    phase bits participate in {!equal}/{!diff} but not in the hash (deblock
+    service keeps toggling after convergence, so hashing it would make
+    quiescence undetectable). *)
+
+type node = {
+  p_root : int;
+  p_parent : int;
+  p_dist : int;
+  p_dmax : int;
+  p_color : bool;
+  p_subtree_max : int;
+  p_busy : bool;  (** [pending <> None] *)
+  p_deblock : bool;  (** [deblock <> None] *)
+}
+
+type t = node array
+
+val of_states : State.t array -> t
+
+val equal : t -> t -> bool
+
+val diff : t -> t -> (int * string) list
+(** Per-node field-level differences, [(node_index, "field: a <> b")];
+    empty iff {!equal}. *)
+
+val fingerprint : t -> int
+
+val fingerprint_states : State.t array -> int
+(** Same hash as [fingerprint (of_states states)], allocation-free.
+    [Checker.fingerprint] delegates here. *)
+
+val node_to_string : node -> string
+(** One node as ["root/parent/dist/dmax/color/stm/busy/deblock"], the
+    format used by the committed golden traces. *)
+
+val to_string : t -> string
+(** All nodes joined with [' '].  Round-trips through {!of_string}. *)
+
+val of_string : string -> t
+(** @raise Failure on malformed input. *)

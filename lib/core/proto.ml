@@ -239,7 +239,15 @@ end = struct
       let unchanged =
         match st.last_info with Some last -> info_unchanged ctx st last | None -> false
       in
-      if unchanged && st.info_age + 1 < C.info_refresh_every then begin
+      (* Mutant "suppression-no-refresh" reintroduces the staleness bug the
+         periodic refresh exists to prevent: an unchanged (possibly
+         corrupted) cache suppresses forever, never re-advertising the real
+         variables. *)
+      if
+        unchanged
+        && (st.info_age + 1 < C.info_refresh_every
+           || Mdst_util.Mutation.enabled "suppression-no-refresh")
+      then begin
         ctx.Node.note_suppressed (Array.length ctx.Node.neighbors);
         { st with State.info_age = st.info_age + 1 }
       end
@@ -1008,6 +1016,11 @@ end = struct
           ~segment:r_segment
     | Msg.Remove { m_edge; m_target; m_deg_max; m_segment } ->
         handle_remove ctx st ~edge:m_edge ~target:m_target ~deg_max:m_deg_max ~segment:m_segment
+    | Msg.Grant _ when Mdst_util.Mutation.enabled "grant-drop" ->
+        (* Mutant: the PR-1 lossy-variant bug — Grants acknowledging a
+           validated swap are discarded, so commits at [s] never happen and
+           segment locks only ever clear by TTL. *)
+        st
     | Msg.Grant { g_edge; g_target; g_deg_max; g_segment } ->
         handle_grant ctx st ~edge:g_edge ~target:g_target ~deg_max:g_deg_max ~segment:g_segment
     | Msg.Reverse { v_edge; v_dist; v_segment } ->

@@ -60,6 +60,14 @@ module Make (A : Node.AUTOMATON) = struct
     mutable deliveries : int;
     mutable observer : (observation -> unit) option;
     mutable faults : faults option;
+    mutable tampered_until : float;
+        (* Latest arrival time of any message a fault-plan channel event
+           created or modified (corrupted payloads, duplicate copies,
+           reordered deliveries).  Deliveries execute in time order, so once
+           [now] passes this, no adversarial payload is in flight any more
+           — [faults_pending] holds until then, closing the window where a
+           convergence check could declare victory with a tampered message
+           still queued (delivered later, it breaks closure). *)
   }
 
   type init =
@@ -119,7 +127,8 @@ module Make (A : Node.AUTOMATON) = struct
     in
     Metrics.record_send t.metrics ~label:(A.msg_label msg)
       ~bits:(A.msg_bits ~n:(Graph.n t.graph) msg);
-    Heap.push t.heap ~prio:arrival (Deliver { src; dst; msg; tag = t.current_tag + 1 })
+    Heap.push t.heap ~prio:arrival (Deliver { src; dst; msg; tag = t.current_tag + 1 });
+    arrival
 
   let in_window (w : Fault.window) round = w.from_round <= round && round <= w.upto_round
 
@@ -127,10 +136,14 @@ module Make (A : Node.AUTOMATON) = struct
      comes up — decides the fate of the message.  Only events installed for
      this exact ordered channel are consulted (see [install_faults]). *)
   let enqueue ?rng t ~src ~dst msg =
+    (* Tampered enqueues extend the adversarial-traffic horizon consulted by
+       [faults_pending]: a tampered message is adversarial state until
+       delivered, even after its event's round window closes. *)
+    let mark arrival = if arrival > t.tampered_until then t.tampered_until <- arrival in
     let tamper fs events =
       let chan () = Printf.sprintf "%d>%d" src dst in
       let rec decide = function
-        | [] -> enqueue_raw t ?rng ~src ~dst msg
+        | [] -> ignore (enqueue_raw t ?rng ~src ~dst msg)
         | (ev, erng) :: rest -> (
             match (ev : Fault.event) with
             | Drop f when in_window f.window t.round && Prng.bernoulli erng f.prob ->
@@ -140,29 +153,29 @@ module Make (A : Node.AUTOMATON) = struct
                 fs.stats <- { fs.stats with Fault.duplicates = fs.stats.Fault.duplicates + 1 };
                 note t ~kind:"dup" ~detail:(fun () -> Printf.sprintf "%s x%d" (chan ()) f.copies);
                 for _ = 0 to f.copies do
-                  enqueue_raw t ?rng ~src ~dst msg
+                  mark (enqueue_raw t ?rng ~src ~dst msg)
                 done
             | Reorder f when in_window f.window t.round && Prng.bernoulli erng f.prob ->
                 fs.stats <- { fs.stats with Fault.reorders = fs.stats.Fault.reorders + 1 };
                 note t ~kind:"reorder" ~detail:chan;
-                enqueue_raw t ~extra_delay:(Prng.float erng f.delay) ?rng ~src ~dst msg
+                mark (enqueue_raw t ~extra_delay:(Prng.float erng f.delay) ?rng ~src ~dst msg)
             | Corrupt f when in_window f.window t.round && Prng.bernoulli erng f.prob -> (
                 match A.random_msg t.ctxs.(src) erng with
                 | Some msg' ->
                     fs.stats <-
                       { fs.stats with Fault.corruptions = fs.stats.Fault.corruptions + 1 };
                     note t ~kind:"corrupt" ~detail:chan;
-                    enqueue_raw t ?rng ~src ~dst msg'
+                    mark (enqueue_raw t ?rng ~src ~dst msg')
                 | None -> decide rest)
             | _ -> decide rest)
       in
       decide events
     in
     match t.faults with
-    | None -> enqueue_raw t ?rng ~src ~dst msg
+    | None -> ignore (enqueue_raw t ?rng ~src ~dst msg)
     | Some fs -> (
         match Hashtbl.find_opt fs.by_channel ((src * Graph.n t.graph) + dst) with
-        | None -> enqueue_raw t ?rng ~src ~dst msg
+        | None -> ignore (enqueue_raw t ?rng ~src ~dst msg)
         | Some events -> tamper fs events)
 
   let make_ctx t i =
@@ -215,6 +228,7 @@ module Make (A : Node.AUTOMATON) = struct
         deliveries = 0;
         observer = None;
         faults = None;
+        tampered_until = neg_infinity;
       }
     in
     for i = 0 to n - 1 do
@@ -375,7 +389,10 @@ module Make (A : Node.AUTOMATON) = struct
 
   let fault_stats t = match t.faults with None -> Fault.zero_stats | Some fs -> fs.stats
 
-  let faults_pending t = match t.faults with None -> false | Some fs -> fs.pending <> []
+  let faults_pending t =
+    match t.faults with
+    | None -> false
+    | Some fs -> fs.pending <> [] || t.now <= t.tampered_until
 
   let skip fs t ~detail =
     fs.stats <- { fs.stats with Fault.skipped = fs.stats.Fault.skipped + 1 };
@@ -460,15 +477,49 @@ module Make (A : Node.AUTOMATON) = struct
       (fun i ->
         let vrng = Prng.split t.rng in
         t.states.(i) <- A.random_state t.ctxs.(i) vrng;
-        if channels then
+        if channels then begin
+          (* Mutant "corrupt-shared-stream" reintroduces the historical
+             coupling this split-stream design removed: payload and latency
+             draws coming from the engine's own stream, shifting the
+             post-corruption schedule when channel corruption is on. *)
+          let crng =
+            if Mdst_util.Mutation.enabled "corrupt-shared-stream" then t.rng else vrng
+          in
           Array.iter
             (fun nb ->
-              match A.random_msg t.ctxs.(i) vrng with
-              | Some msg -> inject_with ~rng:vrng t ~src:i ~dst:nb msg
+              match A.random_msg t.ctxs.(i) crng with
+              | Some msg -> inject_with ~rng:crng t ~src:i ~dst:nb msg
               | None -> ())
-            (Graph.neighbors t.graph i))
+            (Graph.neighbors t.graph i)
+        end)
       victims;
     List.length victims
+
+  (* Execute one already-dequeued event; shared by [step] (priority order)
+     and [step_with] (caller-chosen order). *)
+  let execute t time ev =
+    t.now <- max t.now time;
+    let tag = match ev with Tick { tag; _ } | Deliver { tag; _ } -> tag in
+    t.current_tag <- tag;
+    if tag > t.round then t.round <- tag;
+    match ev with
+    | Tick { node = i; _ } ->
+        (match t.observer with
+        | Some f -> f (Obs_tick { node = i; round = t.round; time = t.now })
+        | None -> ());
+        t.states.(i) <- A.on_tick t.ctxs.(i) t.states.(i);
+        Metrics.record_state_bits t.metrics
+          (A.state_bits ~n:(Graph.n t.graph) t.states.(i));
+        Heap.push t.heap ~prio:(t.now +. t.tick_period) (Tick { node = i; tag = tag + 1 })
+    | Deliver { src; dst; msg; _ } ->
+        (match t.observer with
+        | Some f ->
+            f (Obs_deliver
+                 { src; dst; label = A.msg_label msg; round = t.round; time = t.now })
+        | None -> ());
+        t.deliveries <- t.deliveries + 1;
+        Metrics.record_delivery t.metrics;
+        t.states.(dst) <- A.on_message t.ctxs.(dst) t.states.(dst) ~src msg
 
   let step t =
     apply_due_faults t;
@@ -477,29 +528,73 @@ module Make (A : Node.AUTOMATON) = struct
       (* top_prio + drop_min instead of pop: no option/tuple per event. *)
       let time = Heap.top_prio t.heap in
       let ev = Heap.drop_min t.heap in
-        t.now <- max t.now time;
-        let tag = match ev with Tick { tag; _ } | Deliver { tag; _ } -> tag in
-        t.current_tag <- tag;
-        if tag > t.round then t.round <- tag;
-        (match ev with
-        | Tick { node = i; _ } ->
-            (match t.observer with
-            | Some f -> f (Obs_tick { node = i; round = t.round; time = t.now })
-            | None -> ());
-            t.states.(i) <- A.on_tick t.ctxs.(i) t.states.(i);
-            Metrics.record_state_bits t.metrics
-              (A.state_bits ~n:(Graph.n t.graph) t.states.(i));
-            Heap.push t.heap ~prio:(t.now +. t.tick_period) (Tick { node = i; tag = tag + 1 })
-        | Deliver { src; dst; msg; _ } ->
-            (match t.observer with
-            | Some f ->
-                f (Obs_deliver
-                     { src; dst; label = A.msg_label msg; round = t.round; time = t.now })
-            | None -> ());
-            t.deliveries <- t.deliveries + 1;
-            Metrics.record_delivery t.metrics;
-            t.states.(dst) <- A.on_message t.ctxs.(dst) t.states.(dst) ~src msg);
-        true
+      execute t time ev;
+      true
+    end
+
+  let in_flight t =
+    Heap.to_list t.heap
+    |> List.filter_map (fun (prio, ev) ->
+           match ev with
+           | Deliver { src; dst; msg; _ } -> Some (prio, (src, dst, msg))
+           | Tick _ -> None)
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.map snd
+
+  type choice =
+    | Choose_tick of { node : int }
+    | Choose_deliver of { src : int; dst : int; label : string }
+
+  let step_with t ~choose =
+    apply_due_faults t;
+    if Heap.is_empty t.heap then false
+    else begin
+      let n = Graph.n t.graph in
+      let entries = Heap.to_list t.heap in
+      (* Eligible: every armed tick, plus the oldest (min arrival time,
+         i.e. FIFO head) queued message of each ordered channel. *)
+      let ticks =
+        List.filter_map
+          (fun (prio, ev) ->
+            match ev with Tick { node; _ } -> Some (node, (prio, ev)) | Deliver _ -> None)
+          entries
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+      in
+      let heads = Hashtbl.create 16 in
+      List.iter
+        (fun (prio, ev) ->
+          match ev with
+          | Deliver { src; dst; _ } -> (
+              let key = (src * n) + dst in
+              match Hashtbl.find_opt heads key with
+              | Some (p0, _) when p0 <= prio -> ()
+              | _ -> Hashtbl.replace heads key (prio, ev))
+          | Tick _ -> ())
+        entries;
+      let channels =
+        Hashtbl.fold (fun key entry acc -> (key, entry) :: acc) heads []
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+      in
+      let picks = Array.of_list (List.map snd ticks @ List.map snd channels) in
+      let options =
+        Array.map
+          (fun (_, ev) ->
+            match ev with
+            | Tick { node; _ } -> Choose_tick { node }
+            | Deliver { src; dst; msg; _ } -> Choose_deliver { src; dst; label = A.msg_label msg })
+          picks
+      in
+      let idx = choose options in
+      if idx < 0 || idx >= Array.length picks then
+        invalid_arg
+          (Printf.sprintf "Engine.step_with: choice %d out of range [0, %d)" idx
+             (Array.length picks));
+      let time, ev = picks.(idx) in
+      (* Remove exactly the chosen entry; events are freshly allocated per
+         push, so physical identity picks it out of the heap uniquely. *)
+      ignore (Heap.filter t.heap (fun _ e -> not (e == ev)));
+      execute t time ev;
+      true
     end
 
   type outcome = {

@@ -93,6 +93,34 @@ module Make (A : Node.AUTOMATON) : sig
   val in_flight_exists : t -> (A.msg -> bool) -> bool
   (** Is any queued message satisfying the predicate still undelivered? *)
 
+  val in_flight : t -> (int * int * A.msg) list
+  (** Every queued message as [(src, dst, msg)], sorted by arrival time.
+      Per-channel arrival times are strictly increasing (the FIFO floor),
+      so restricted to one ordered channel the list is in delivery order —
+      what a conformance model needs to seed its queues.  O(events log
+      events); an observation hook, not for hot paths. *)
+
+  (** {1 Schedule control (testing hook)} *)
+
+  (** One eligible next step for {!step_with}: a node's armed tick, or the
+      FIFO head of a non-empty ordered channel. *)
+  type choice =
+    | Choose_tick of { node : int }
+    | Choose_deliver of { src : int; dst : int; label : string }
+
+  val step_with : t -> choose:(choice array -> int) -> bool
+  (** Like {!step}, but the caller picks which eligible event runs instead
+      of the arrival-time order: [choose] receives the eligible events
+      (every armed tick in node order, then every non-empty channel's FIFO
+      head in [(src * n) + dst] order) and returns an index into the
+      array.  Per-channel FIFO is preserved by construction; everything
+      else — tick fairness, latency realism, cross-channel order — is
+      surrendered to the caller, which is the point: the bounded schedule
+      explorer enumerates exactly these choices.  Virtual time still only
+      moves forward (executing an event whose arrival time already passed
+      does not rewind [now]).
+      @raise Invalid_argument if [choose] returns an out-of-range index. *)
+
   (** {1 Fault injection}
 
       Ad-hoc primitives first; {!install_faults} interprets a declarative,
@@ -162,11 +190,16 @@ module Make (A : Node.AUTOMATON) : sig
       is installed). *)
 
   val faults_pending : t -> bool
-  (** Are scheduled events (crash / cut / link) of the installed plan still
-      waiting to fire?  Convergence checks must not declare victory while
-      this holds — a fault scheduled at round [r] fires when the engine
-      {e processes} an event at or past [r], which can be after a stop
-      predicate already ran at round [r]. *)
+  (** Is adversarial work from the installed plan still outstanding?  True
+      while scheduled events (crash / cut / link) wait to fire — a fault
+      scheduled at round [r] fires when the engine {e processes} an event
+      at or past [r], which can be after a stop predicate already ran at
+      round [r] — and also while any message a channel event tampered with
+      (corrupted payload, duplicate copy, reordered delivery) is still in
+      flight: such a message is adversarial state even after its round
+      window closes, and delivering it can knock a quiescent configuration
+      out of legitimacy.  Convergence checks must not declare victory while
+      this holds. *)
 
   (** {1 Observation hooks} *)
 

@@ -1,0 +1,23 @@
+(* Test-only mutation switches; see mutation.mli for the catalogue. *)
+
+let names =
+  [ "grant-drop"; "stop-check-race"; "corrupt-shared-stream"; "suppression-no-refresh" ]
+
+let from_env =
+  lazy
+    (match Sys.getenv_opt "MDST_MUTANT" with
+    | None | Some "" -> []
+    | Some s ->
+        String.split_on_char ',' s
+        |> List.map String.trim
+        |> List.filter (fun x -> x <> ""))
+
+let forced : string list option ref = ref None
+
+let active () = match !forced with Some l -> l | None -> Lazy.force from_env
+
+let enabled name = List.mem name (active ())
+
+let any () = active () <> []
+
+let force l = forced := l

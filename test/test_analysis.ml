@@ -127,7 +127,7 @@ let test_workloads_unknown () =
 let test_registry_ids () =
   Alcotest.(check (list string))
     "all experiments present"
-    [ "E1"; "E2"; "E3"; "E4"; "E5"; "E6"; "E7"; "E8"; "E9"; "E10"; "E11"; "E12"; "E13"; "E14"; "E15"; "E16"; "E17"; "E19"; "E20" ]
+    [ "E1"; "E2"; "E3"; "E4"; "E5"; "E6"; "E7"; "E8"; "E9"; "E10"; "E11"; "E12"; "E13"; "E14"; "E15"; "E16"; "E17"; "E19"; "E20"; "E21" ]
     Registry.ids
 
 let test_registry_find () =

@@ -216,6 +216,88 @@ let test_suppressed_convergence () =
   | Property.Falsified c ->
       Alcotest.fail (Property.render ~name:property.Property.name c)
 
+(* ---------------- conformance / explorer / mutants ---------------- *)
+
+let test_conformance_format () =
+  let module Cf = Mdst_check.Conformance in
+  let lines =
+    [
+      "n=4;edges=0-1,1-2,2-3,0-3;seed=7;init=random;events=40";
+      "n=3;ids=2,0,1;edges=0-1,1-2;seed=1;init=clean;events=5";
+    ]
+  in
+  List.iter
+    (fun line ->
+      let once = Cf.case_to_string (Cf.case_of_string line) in
+      let twice = Cf.case_to_string (Cf.case_of_string once) in
+      Alcotest.(check string) "printing is a fixpoint of parsing" once twice)
+    lines;
+  let rejects s =
+    try
+      ignore (Cf.case_of_string s);
+      false
+    with Invalid_argument _ -> true
+  in
+  check "empty" true (rejects "");
+  check "bad init" true (rejects "n=3;edges=0-1,1-2;seed=1;init=wat;events=5");
+  check "bad events" true (rejects "n=3;edges=0-1,1-2;seed=1;init=clean;events=-2");
+  (* omitted events falls back to the documented default *)
+  Alcotest.(check int) "events default" 100
+    (Cf.case_of_string "n=3;edges=0-1,1-2;seed=1;init=clean").Cf.events
+
+(* A long adversarial-start lockstep run on K5: enough events to cover
+   every message family, including the Remove/Grant/Reverse swap pass. *)
+let test_conformance_lockstep () =
+  let module Cf = Mdst_check.Conformance in
+  let case =
+    Cf.case_of_string
+      "n=5;edges=0-1,0-2,0-3,0-4,1-2,1-3,1-4,2-3,2-4,3-4;seed=3;init=random;events=1500"
+  in
+  let r = Cf.Default.run_case case in
+  Alcotest.(check int) "all events ran" 1500 r.Cf.events_run;
+  match r.Cf.divergence with
+  | None -> ()
+  | Some d ->
+      Alcotest.failf "divergence at event %d (%s): %s" d.Cf.index d.Cf.event
+        d.Cf.detail
+
+let test_explore_smoke () =
+  let module X = Mdst_check.Explore in
+  let g = Graph.of_edges ~n:3 [ (0, 1); (1, 2); (0, 2) ] in
+  List.iter
+    (fun init ->
+      let stats, vio = X.Default.dfs ~max_depth:6 ~max_configs:2_000 ~init g in
+      check "explored more than the root" true (stats.X.configs > 1);
+      match vio with
+      | None -> ()
+      | Some v ->
+          Alcotest.failf "violation: %s" (Format.asprintf "%a" X.pp_violation v))
+    [ `Clean; `Legitimate; `Random 4 ];
+  match X.Default.walk ~steps:200 ~seed:11 ~init:`Random g with
+  | Ok n -> Alcotest.(check int) "walk ran all steps" 200 n
+  | Error e -> Alcotest.fail ("lockstep walk diverged: " ^ e)
+
+(* Non-vacuity: the lockstep walk must notice a seeded protocol bug. *)
+let test_explore_walk_catches_mutant () =
+  let module X = Mdst_check.Explore in
+  let module Mutation = Mdst_util.Mutation in
+  let g = Graph.of_edges ~n:3 [ (0, 1); (1, 2) ] in
+  Fun.protect ~finally:(fun () -> Mutation.force None) @@ fun () ->
+  Mutation.force (Some [ "suppression-no-refresh" ]);
+  match X.Suppressed.walk ~steps:300 ~seed:5 ~init:`Clean g with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "suppression mutant not caught by the lockstep walk"
+
+(* The full registry: every historical bug detected when forced on, every
+   probe silent when forced off (same gate as `mdst_sim mutate` / CI). *)
+let test_mutation_check () =
+  let module M = Mdst_check.Mutants in
+  List.iter
+    (fun (o : M.outcome) ->
+      check (o.M.name ^ ": detected when forced on") true o.M.caught;
+      check (o.M.name ^ ": silent when forced off") true o.M.clean)
+    (M.run_all ())
+
 (* ---------------- shared suites ---------------- *)
 
 let suite_cases =
@@ -263,5 +345,18 @@ let () =
           Alcotest.test_case "convergence with Info suppression" `Quick
             test_suppressed_convergence;
         ] );
+      ( "conformance",
+        [
+          Alcotest.test_case "case print/parse fixpoint" `Quick test_conformance_format;
+          Alcotest.test_case "lockstep on K5 adversarial start" `Quick
+            test_conformance_lockstep;
+        ] );
+      ( "explore",
+        [
+          Alcotest.test_case "triangle DFS and walk" `Quick test_explore_smoke;
+          Alcotest.test_case "walk catches seeded mutant" `Quick
+            test_explore_walk_catches_mutant;
+        ] );
+      ("mutants", [ Alcotest.test_case "registry discriminates" `Quick test_mutation_check ]);
       ("suites", suite_cases);
     ]

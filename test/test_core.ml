@@ -536,6 +536,108 @@ let test_colors_agree_at_fixpoint () =
   check "single colour across the tree" true
     (Array.for_all (fun c -> c = colors.(0)) colors)
 
+(* ---------------- Info suppression dirty-bit edges ---------------- *)
+
+module PS = Mdst_core.Proto.Suppressed
+
+(* A single leaf node whose local rules quiesce immediately: every tick's
+   gossip repeats itself, so the send pattern isolates the suppression
+   logic.  [sent] records whether the last tick broadcast an Info. *)
+let suppression_rig () =
+  let sent = ref false in
+  let ctx =
+    {
+      (make_ctx ~id:3 ~neighbor_ids:[ 1 ] ()) with
+      Node.send =
+        (fun _ m -> match m with Msg.Info _ -> sent := true | _ -> ());
+    }
+  in
+  (ctx, sent)
+
+let test_suppression_refresh_boundary () =
+  let ctx, sent = suppression_rig () in
+  let st = ref (PS.init ctx) in
+  let send_ticks = ref [] in
+  for i = 1 to 33 do
+    sent := false;
+    st := PS.on_tick ctx !st;
+    if !sent then send_ticks := i :: !send_ticks
+  done;
+  (match List.rev !send_ticks with
+  | first :: rest ->
+      (* After the cold-cache send, refreshes land exactly every 8th tick
+         (info_refresh_every), never earlier, never later. *)
+      Alcotest.(check (list int)) "forced refresh every 8th tick"
+        [ first + 8; first + 16; first + 24 ]
+        (List.filteri (fun i _ -> i < 3) rest)
+  | [] -> Alcotest.fail "node never advertised");
+  check "age counts suppressed ticks since the last broadcast" true
+    ((!st).State.info_age < 8)
+
+let test_suppression_change_then_revert () =
+  let ctx, sent = suppression_rig () in
+  let st = ref (PS.init ctx) in
+  (* Warm the cache and move into mid-window suppression. *)
+  for _ = 1 to 3 do
+    st := PS.on_tick ctx !st
+  done;
+  let base = !st in
+  check "mid-window precondition" true
+    (base.State.info_age > 0 && base.State.info_age < 6);
+  (* The dirty bit compares tick-time values, not intermediate writes: a
+     variable changed and reverted between two ticks is indistinguishable
+     from one that never moved, so the tick stays suppressed. *)
+  let transient = { base with State.color = not base.State.color } in
+  let reverted = { transient with State.color = base.State.color } in
+  sent := false;
+  st := PS.on_tick ctx reverted;
+  check "revert-before-tick is suppressed" false !sent;
+  Alcotest.(check int) "suppressed tick still ages the cache"
+    (base.State.info_age + 1) (!st).State.info_age;
+  (* A difference still live at tick time (here: a cache that no longer
+     matches the variables) re-advertises immediately and resets the age. *)
+  let stale =
+    match (!st).State.last_info with
+    | Some i ->
+        { !st with State.last_info = Some { i with Msg.i_color = not i.Msg.i_color } }
+    | None -> Alcotest.fail "cache must be warm after a broadcast"
+  in
+  sent := false;
+  st := PS.on_tick ctx stale;
+  check "live difference re-advertises" true !sent;
+  Alcotest.(check int) "broadcast resets the age" 0 (!st).State.info_age
+
+let test_suppression_corrupted_age_is_bounded () =
+  let ctx, sent = suppression_rig () in
+  let st = ref (PS.init ctx) in
+  for _ = 1 to 2 do
+    st := PS.on_tick ctx !st
+  done;
+  (* Adversarial cache: the values match the variables exactly (maximally
+     deceptive) but the age counter is corrupted sky-high.  The very next
+     tick crosses the refresh boundary, so staleness stays bounded by
+     info_refresh_every no matter what the adversary plants. *)
+  sent := false;
+  st := PS.on_tick ctx { !st with State.info_age = 1000 };
+  check "corrupted age forces a refresh at the next tick" true !sent;
+  Alcotest.(check int) "age restarts from the refresh" 0 (!st).State.info_age;
+  (* And the boundary case itself: age = info_refresh_every - 1 means the
+     window is exhausted on this tick. *)
+  for _ = 1 to 2 do
+    st := PS.on_tick ctx !st
+  done;
+  sent := false;
+  st := PS.on_tick ctx { !st with State.info_age = 7 };
+  check "age 7 tick is the forced refresh" true !sent;
+  (* The window after a forced refresh is a full quiet one again. *)
+  let quiet = ref 0 in
+  for _ = 1 to 7 do
+    sent := false;
+    st := PS.on_tick ctx !st;
+    if not !sent then incr quiet
+  done;
+  Alcotest.(check int) "seven suppressed ticks follow" 7 !quiet
+
 let test_pp_smoke () =
   let ctx = make_ctx ~id:3 ~neighbor_ids:[ 1; 5 ] () in
   let st = State.clean ctx in
@@ -616,6 +718,14 @@ let () =
           Alcotest.test_case "colors agree at fixpoint" `Quick test_colors_agree_at_fixpoint;
           Alcotest.test_case "graceful reattach mechanism" `Quick test_graceful_reattach_mechanism;
           Alcotest.test_case "pp smoke" `Quick test_pp_smoke;
+        ] );
+      ( "suppression",
+        [
+          Alcotest.test_case "refresh-tick boundary" `Quick test_suppression_refresh_boundary;
+          Alcotest.test_case "change then revert within one tick" `Quick
+            test_suppression_change_then_revert;
+          Alcotest.test_case "corrupted age stays bounded" `Quick
+            test_suppression_corrupted_age_is_bounded;
         ] );
       ( "variants",
         [
