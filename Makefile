@@ -3,7 +3,7 @@
 DUNE ?= dune
 SIM   = $(DUNE) exec bin/mdst_sim.exe --
 
-.PHONY: all build test pbt pbt-long explore mutate bench bench-json bench-proto bench-guard clean
+.PHONY: all build test pbt pbt-long explore fuzz fuzz-long mutate bench bench-json bench-proto bench-guard clean
 
 all: build
 
@@ -31,6 +31,17 @@ pbt-long: build
 explore: build
 	$(SIM) explore -f complete -n 4
 	$(SIM) explore -f complete -n 4 --suppressed
+
+# Coverage-guided schedule fuzzing smoke: swarm sweep + a short guided
+# campaign, every execution in lockstep with the reference model.  Fails
+# (non-zero) when a trophy is found; the reproducer is printed.
+fuzz: build
+	$(SIM) fuzz --quick --seed 1
+
+# Extended campaign for nightly use: 20-minute budget, full graph sizes,
+# corpus persisted under _fuzz-corpus/ (trophies land there too).
+fuzz-long: build
+	$(SIM) fuzz --budget 1200 --seed 20090525 --corpus _fuzz-corpus
 
 # Mutation-check the suite: each historical-bug mutant must be detected
 # when forced on and leave the probes silent when forced off.

@@ -539,6 +539,131 @@ let explore_cmd =
        ~doc:"Bounded schedule exploration: enumerate delivery interleavings of a small instance, checking the real protocol against the reference model and closure of the legitimacy predicate on every path.")
     term
 
+(* ---- fuzz ---- *)
+
+let fuzz_cmd =
+  let quick_arg =
+    Arg.(value & flag
+         & info [ "quick" ]
+             ~doc:"CI smoke preset: ~30s budget, small graphs.  Exit status is the \
+                   verdict: non-zero means the fuzzer found a trophy.")
+  in
+  let budget_arg =
+    Arg.(value & opt float 60.0
+         & info [ "budget" ] ~docv:"SEC" ~doc:"Wall-clock budget for the campaign.")
+  in
+  let execs_arg =
+    Arg.(value & opt (some int) None
+         & info [ "execs" ] ~docv:"N" ~doc:"Stop after $(docv) executions (default: budget only).")
+  in
+  let fuzz_seed_arg =
+    Arg.(value & opt int 1
+         & info [ "s"; "seed" ] ~docv:"SEED"
+             ~doc:"Campaign seed; the same seed and caps replay the same campaign.")
+  in
+  let max_n_arg =
+    Arg.(value & opt (some int) None
+         & info [ "max-n" ] ~docv:"N" ~doc:"Largest generated topology (default 96, or 10 with $(b,--quick)).")
+  in
+  let corpus_arg =
+    Arg.(value & opt (some string) None
+         & info [ "corpus" ] ~docv:"DIR"
+             ~doc:"Persist the corpus: load $(docv) before the swarm sweep, save every \
+                   retained entry and shrunk trophy into it.")
+  in
+  let replay_arg =
+    Arg.(value & opt (some string) None
+         & info [ "replay" ] ~docv:"CASE"
+             ~doc:"Skip fuzzing and strictly replay one reproducer line (as emitted for a \
+                   trophy or saved in a corpus).  Exit status 1 when the violation \
+                   reproduces, 0 when the execution is clean.")
+  in
+  let random_arg =
+    Arg.(value & flag
+         & info [ "random" ]
+             ~doc:"Run the uniform random-walk baseline instead of the coverage-guided \
+                   campaign (the control arm of BENCH_fuzz.json).")
+  in
+  let bench_arg =
+    Arg.(value & flag
+         & info [ "bench" ]
+             ~doc:"Produce BENCH_fuzz.json instead of one campaign: both arms' throughput \
+                   and novelty timelines plus the per-mutant detection table (medians over \
+                   $(b,--seeds) seeds).  Exit status 1 unless the fuzzer beats the random \
+                   walker on every historical mutant.")
+  in
+  let seeds_arg =
+    Arg.(value & opt int 5
+         & info [ "seeds" ] ~docv:"K" ~doc:"Detection seeds per mutant for $(b,--bench).")
+  in
+  let out_arg =
+    Arg.(value & opt string "BENCH_fuzz.json"
+         & info [ "out" ] ~docv:"FILE" ~doc:"Where $(b,--bench) writes its JSON.")
+  in
+  let action quick budget execs seed max_n corpus replay random bench seeds out =
+    let module F = Mdst_check.Fuzz in
+    match replay with
+    | Some line -> (
+        let e = F.entry_of_string line in
+        Printf.printf "replaying: %s\n%!" (F.entry_to_string e);
+        match F.replay e with
+        | Ok () -> print_endline "replay clean: no violation"
+        | Error (kind, detail) ->
+            Printf.printf "reproduced %s: %s\n" (F.kind_to_string kind) detail;
+            exit 1)
+    | None ->
+        if bench then begin
+          let json, beaten = F.bench_json ~quick ~seeds ~seed () in
+          let oc = open_out out in
+          output_string oc json;
+          close_out oc;
+          Printf.printf "wrote %s\n" out;
+          Printf.printf "fuzz beats random on all mutants: %b\n" beaten;
+          if not beaten then exit 1
+        end
+        else begin
+          let mode = if random then `Random_walk else `Fuzz in
+          let budget_s = if quick then min budget 30.0 else budget in
+          let st =
+            F.campaign ~mode ~quick ~budget_s ?max_execs:execs ?max_n
+              ?corpus_dir:corpus ~seed ()
+          in
+          Printf.printf
+            "%s: %d executions in %.1fs (%.0f/s)\ncorpus: %d entries%s\n\
+             coverage: %d fingerprints, %d coarse shapes, %d probe buckets\n"
+            (match mode with `Fuzz -> "fuzz" | `Random_walk -> "random walk")
+            st.F.s_execs st.F.s_elapsed
+            (float_of_int st.F.s_execs /. Float.max 1e-9 st.F.s_elapsed)
+            st.F.s_corpus
+            (match corpus with Some d -> Printf.sprintf " (saved in %s)" d | None -> "")
+            st.F.s_fine st.F.s_coarse st.F.s_buckets;
+          match st.F.s_trophies with
+          | [] -> print_endline "no violations found"
+          | ts ->
+              Printf.printf "%d TROPHIES (shrunk; replay with --replay):\n" (List.length ts);
+              List.iter
+                (fun (t : F.trophy) ->
+                  Printf.printf "  %s: %s\n    %s\n" (F.kind_to_string t.F.t_kind)
+                    t.F.t_detail
+                    (F.entry_to_string t.F.t_entry))
+                ts;
+              exit 1
+        end
+  in
+  let term =
+    Term.(
+      const action $ quick_arg $ budget_arg $ execs_arg $ fuzz_seed_arg $ max_n_arg
+      $ corpus_arg $ replay_arg $ random_arg $ bench_arg $ seeds_arg $ out_arg)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Coverage-guided schedule fuzzing: mutate delivery schedules through the \
+             engine's schedule-control hook under swarm configurations, rank by \
+             projection-fingerprint and handler-probe novelty, run every execution in \
+             lockstep with the reference model, and shrink any violation to a one-line \
+             reproducer.")
+    term
+
 (* ---- mutate ---- *)
 
 let mutate_cmd =
@@ -546,10 +671,33 @@ let mutate_cmd =
     Arg.(value & opt (some string) None
          & info [ "only" ] ~docv:"NAME" ~doc:"Run a single mutant instead of the whole registry.")
   in
-  let action only =
+  let fuzz_arg =
+    Arg.(value & flag
+         & info [ "fuzz" ]
+             ~doc:"Also run each mutant under a short schedule-fuzzing budget and report \
+                   how many executions the coverage-guided campaign and the uniform \
+                   random walker need to find it (medians over $(b,--fuzz-seeds) seeds).")
+  in
+  let fuzz_seeds_arg =
+    Arg.(value & opt int 3
+         & info [ "fuzz-seeds" ] ~docv:"K" ~doc:"Detection seeds per mutant for $(b,--fuzz).")
+  in
+  let action only fuzz fuzz_seeds =
     let module M = Mdst_check.Mutants in
+    let module F = Mdst_check.Fuzz in
     let mutants = match only with None -> M.all | Some name -> [ M.find name ] in
     let outcomes = List.map M.run mutants in
+    let fuzz_max_execs = 500 in
+    let detections =
+      if not fuzz then []
+      else
+        List.map
+          (fun (m : M.mutant) ->
+            let d = F.detect ~seeds:fuzz_seeds ~max_execs:fuzz_max_execs ~budget_s:45.0 m.M.name in
+            Printf.printf "  fuzz-detect %-24s done\n%!" m.M.name;
+            d)
+          mutants
+    in
     List.iter
       (fun (o : M.outcome) ->
         Printf.printf "%-24s %s\n" o.name o.source;
@@ -560,6 +708,19 @@ let mutate_cmd =
           (if o.clean then "silent (ok)" else "FALSE POSITIVE (FAIL)")
           o.off_detail)
       outcomes;
+    if detections <> [] then begin
+      Printf.printf "\ndetection cost (median executions to first trophy, %d seeds, cap %d):\n"
+        fuzz_seeds fuzz_max_execs;
+      Printf.printf "  %-24s %10s %10s\n" "mutant" "fuzz" "random";
+      List.iter
+        (fun (d : F.detection) ->
+          let med arr = F.median_execs arr ~max_execs:fuzz_max_execs in
+          let show m = if m > fuzz_max_execs then ">" ^ string_of_int fuzz_max_execs else string_of_int m in
+          let f = med d.F.d_fuzz and r = med d.F.d_random in
+          Printf.printf "  %-24s %10s %10s%s\n" d.F.d_mutant (show f) (show r)
+            (if f < r then "  fuzz faster" else if f > r then "  random faster" else ""))
+        detections
+    end;
     let bad = List.filter (fun o -> not (M.ok o)) outcomes in
     if bad = [] then
       Printf.printf "mutate: %d/%d mutants detected, no false positives\n"
@@ -573,8 +734,8 @@ let mutate_cmd =
   in
   Cmd.v
     (Cmd.info "mutate"
-       ~doc:"Mutation-check the suite: force each historical-bug mutant on (its probe must detect it) and off (the probe must stay silent).")
-    Term.(const action $ only_arg)
+       ~doc:"Mutation-check the suite: force each historical-bug mutant on (its probe must detect it) and off (the probe must stay silent).  With $(b,--fuzz), also measure schedule-fuzzing detection cost against the random-walk baseline.")
+    Term.(const action $ only_arg $ fuzz_arg $ fuzz_seeds_arg)
 
 (* ---- families ---- *)
 
@@ -593,4 +754,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; solve_cmd; compare_cmd; props_cmd; experiments_cmd; bench_cmd; pbt_cmd; explore_cmd; mutate_cmd; families_cmd ]))
+          [ run_cmd; solve_cmd; compare_cmd; props_cmd; experiments_cmd; bench_cmd; pbt_cmd; explore_cmd; fuzz_cmd; mutate_cmd; families_cmd ]))

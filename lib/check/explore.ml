@@ -119,7 +119,7 @@ let message_ok ctxs graph states src msg =
    fixpoint condition — while an improvement exists the protocol rightly
    commits a swap, transiting through configurations whose dmax bookkeeping
    lags the tree. *)
-let premise ctxs graph nodes channels =
+let premise_with ctxs graph nodes channels =
   Checker.legitimate graph nodes
   && Array.for_all (fun st -> st.State.pending = None) nodes
   && views_accurate ctxs nodes
@@ -140,7 +140,7 @@ let premise ctxs graph nodes channels =
 
 (* ---------------- initial configurations ---------------- *)
 
-let legitimate_states ctxs graph =
+let legitimate_with ctxs graph =
   let tree = Fr.approx_mdst ~root:(Graph.min_id_node graph) graph in
   let dmax = Tree.max_degree tree in
   let root = Tree.root tree in
@@ -189,6 +189,31 @@ let legitimate_states ctxs graph =
         info_age = 0;
       })
 
+(* Handler-independent contexts: the premise and the legitimate builder
+   only read the topology fields (neighbors / ids / n), so a no-op-send
+   context array lets external harnesses (the fuzzer) call them against a
+   bare graph.  The exported graph-only wrappers below build one per call —
+   O(n·δ) array setup, noise next to the checks themselves. *)
+let dummy_ctxs graph =
+  let n = Graph.n graph in
+  Array.init n (fun v ->
+      let nbrs = Array.copy (Graph.neighbors graph v) in
+      {
+        Node.node = v;
+        id = Graph.id graph v;
+        n;
+        neighbors = nbrs;
+        neighbor_ids = Array.map (Graph.id graph) nbrs;
+        send = (fun _ _ -> ());
+        note_suppressed = (fun _ -> ());
+        rng = Prng.create 0;
+        now = (fun () -> 0.0);
+      })
+
+let legitimate_states graph = legitimate_with (dummy_ctxs graph) graph
+
+let premise graph nodes channels = premise_with (dummy_ctxs graph) graph nodes channels
+
 (* ---------------- the explorer ---------------- *)
 
 module Make (A : Mdst_sim.Node.AUTOMATON
@@ -220,7 +245,7 @@ struct
     let nodes, channels =
       match init with
       | `Clean -> (Array.init n (fun v -> A.init ctxs.(v)), Array.make (n * n) [])
-      | `Legitimate -> (legitimate_states ctxs graph, Array.make (n * n) [])
+      | `Legitimate -> (legitimate_with ctxs graph, Array.make (n * n) [])
       | `Random seed ->
           let rng = Prng.create seed in
           let nodes = Array.init n (fun v -> A.random_state ctxs.(v) (Prng.split rng)) in
@@ -326,7 +351,7 @@ struct
         if depth > !max_depth_reached then max_depth_reached := depth;
         if depth >= max_depth then truncated := true
         else
-          let prem = premise ctxs graph m.Model.nodes m.Model.channels in
+          let prem = premise_with ctxs graph m.Model.nodes m.Model.channels in
           List.iter
             (fun ev ->
               if !violation = None then begin

@@ -56,6 +56,19 @@ type violation = {
 
 val pp_violation : Format.formatter -> violation -> unit
 
+val legitimate_states : Graph.t -> Mdst_core.State.t array
+(** A legitimate configuration over the Fürer–Raghavachari tree of the
+    graph: accurate fresh mirrors, no pending swap or deblock service —
+    the [`Legitimate] init, exposed so other harnesses (the schedule
+    fuzzer) can seed executions from the closure premise's natural
+    starting point. *)
+
+val premise : Graph.t -> Mdst_core.State.t array -> Mdst_core.Msg.t list array -> bool
+(** Does the legitimacy-closure premise hold for this configuration?
+    (Legitimate tree, no pending swap, accurate fresh mirrors, premise-
+    compatible in-flight messages, no Fürer–Raghavachari improvement
+    available.)  [channels] is indexed [(src * n) + dst], FIFO order. *)
+
 module type S = sig
   val dfs :
     ?max_depth:int ->

@@ -23,6 +23,12 @@ type mutant = {
 val all : mutant list
 (** One mutant per {!Mdst_util.Mutation.names} slug, same order. *)
 
+val race_fixture : string
+(** The shrunk PR-4 stop-check-race reproducer (a {!Convergence} case
+    line): a corruption window that closes before its tampered message is
+    delivered.  Exposed as the known-minimal fixture for shrinker
+    idempotence tests. *)
+
 val find : string -> mutant
 (** @raise Invalid_argument on an unknown slug. *)
 

@@ -5,34 +5,57 @@ type 'a t = 'a -> 'a Seq.t
 
 let nothing _ = Seq.empty
 
+(* Strictness is what makes greedy shrinking terminate and — just as
+   importantly — idempotent: re-shrinking an already-minimal
+   counterexample finds no candidate that still fails (in particular
+   never the counterexample itself) and returns it unchanged.  Every
+   exported shrinker is wrapped so a violation fails loudly at the point
+   of generation instead of looping the driver forever. *)
+let strictly ~size shrink x =
+  let sx = size x in
+  Seq.map
+    (fun c ->
+      assert (size c < sx);
+      c)
+    (shrink x)
+
 let int ?(towards = 0) v =
-  if v = towards then Seq.empty
-  else
-    (* The target first, then candidates halving the distance back up. *)
-    let rec gaps acc gap = if gap = 0 then acc else gaps (gap :: acc) (gap / 2) in
-    towards :: List.rev_map (fun g -> towards + g) (gaps [] ((v - towards) / 2))
-    |> List.to_seq
-    |> Seq.filter (fun c -> c <> v)
+  let raw v =
+    if v = towards then Seq.empty
+    else
+      (* The target first, then candidates halving the distance back up. *)
+      let rec gaps acc gap = if gap = 0 then acc else gaps (gap :: acc) (gap / 2) in
+      towards :: List.rev_map (fun g -> towards + g) (gaps [] ((v - towards) / 2))
+      |> List.to_seq
+      |> Seq.filter (fun c -> c <> v)
+  in
+  strictly ~size:(fun c -> abs (c - towards)) raw v
 
 (* Remove chunks of decreasing size, then singles. *)
 let list xs =
-  let arr = Array.of_list xs in
-  let n = Array.length arr in
-  let without_range lo len =
-    Array.to_list arr |> List.filteri (fun i _ -> i < lo || i >= lo + len)
+  let raw xs =
+    let arr = Array.of_list xs in
+    let n = Array.length arr in
+    let without_range lo len =
+      Array.to_list arr |> List.filteri (fun i _ -> i < lo || i >= lo + len)
+    in
+    let rec chunks size () =
+      if size = 0 then Seq.Nil
+      else
+        let starts = Seq.init (max 1 (n - size + 1)) (fun i -> i) in
+        Seq.append
+          (Seq.filter_map
+             (fun lo -> if lo + size <= n then Some (without_range lo size) else None)
+             starts)
+          (chunks (size / 2))
+          ()
+    in
+    (* [max 1]: a singleton still offers the empty list — without it a
+       one-element schedule or plan could never lose its last entry and
+       "minimal" would silently mean "at least one". *)
+    if n = 0 then Seq.empty else chunks (max 1 (n / 2))
   in
-  let rec chunks size () =
-    if size = 0 then Seq.Nil
-    else
-      let starts = Seq.init (max 1 (n - size + 1)) (fun i -> i) in
-      Seq.append
-        (Seq.filter_map
-           (fun lo -> if lo + size <= n then Some (without_range lo size) else None)
-           starts)
-        (chunks (size / 2))
-        ()
-  in
-  if n = 0 then Seq.empty else chunks (n / 2)
+  strictly ~size:List.length raw xs
 
 let remove_vertex g v =
   let n = Graph.n g in
@@ -60,19 +83,25 @@ let remove_edge g (u, v) =
   Graph.of_edges ~ids ~n edges
 
 let graph g =
-  let vertex_deletions =
-    Seq.filter_map (fun v -> remove_vertex g v) (Seq.init (Graph.n g) (fun v -> v))
+  let raw g =
+    let vertex_deletions =
+      Seq.filter_map (fun v -> remove_vertex g v) (Seq.init (Graph.n g) (fun v -> v))
+    in
+    let edge_deletions =
+      let bridges = Mdst_graph.Algo.bridges g in
+      Array.to_seq (Graph.edges g)
+      |> Seq.filter (fun e -> not (List.mem e bridges))
+      |> Seq.map (remove_edge g)
+    in
+    Seq.append vertex_deletions edge_deletions
   in
-  let edge_deletions =
-    let bridges = Mdst_graph.Algo.bridges g in
-    Array.to_seq (Graph.edges g)
-    |> Seq.filter (fun e -> not (List.mem e bridges))
-    |> Seq.map (remove_edge g)
-  in
-  Seq.append vertex_deletions edge_deletions
+  strictly ~size:(fun g -> Graph.n g + Graph.m g) raw g
 
 let plan (p : Fault.plan) =
-  Seq.map (fun events -> { p with Fault.events }) (list p.Fault.events)
+  strictly
+    ~size:(fun p -> List.length p.Fault.events)
+    (fun p -> Seq.map (fun events -> { p with Fault.events }) (list p.Fault.events))
+    p
 
 let remap_plan_without_vertex ~removed (p : Fault.plan) =
   let rename w = if w > removed then w - 1 else w in

@@ -5,11 +5,24 @@
     still fails and iterates to a local minimum.  Every candidate must stay
     inside the test domain — graph shrinkers preserve connectivity, plan
     shrinkers only delete events (per-event PRNG streams make deletion
-    non-interfering, see {!Mdst_sim.Fault.rng_for}). *)
+    non-interfering, see {!Mdst_sim.Fault.rng_for}).
+
+    {b Strictness contract}: no exported shrinker ever yields a candidate
+    equal to its input — each candidate is strictly smaller under the
+    shrinker's size measure, enforced by {!strictly} at generation time.
+    This is what makes greedy shrinking terminate, and what makes it
+    idempotent: re-shrinking an already-minimal counterexample finds no
+    candidate that still fails (in particular never the counterexample
+    itself) and returns it unchanged. *)
 
 type 'a t = 'a -> 'a Seq.t
 
 val nothing : 'a t
+
+val strictly : size:('a -> int) -> 'a t -> 'a t
+(** [strictly ~size shrink] asserts, as each candidate is produced, that
+    [size candidate < size input] — the strictness contract above.  Wrap
+    any new shrinker in it. *)
 
 val int : ?towards:int -> int t
 (** Bisect towards [towards] (default 0). *)

@@ -86,6 +86,34 @@ let fingerprint_states (states : State.t array) =
     states;
   !h
 
+(* Labeling-insensitive companion to [fingerprint_states]: per-node mixes
+   over the id-free fields only (depth, believed max degree, colour,
+   subtree aggregate, phase bits), folded as a sorted multiset so the hash
+   ignores both the identifier assignment and the node order.  Two
+   configurations that differ only by a relabeling collide here on
+   purpose — the fuzzer uses this as a second, coarser novelty dimension
+   so corpus slots are not wasted on id-permuted replays of known shapes. *)
+let fingerprint_coarse (states : State.t array) =
+  let per =
+    Array.map
+      (fun (st : State.t) ->
+        let h = ref 0x9e377 in
+        let mix v = h := (!h * 1_000_003) lxor v land max_int in
+        mix st.State.dist;
+        mix st.State.dmax;
+        mix (Bool.to_int st.State.color);
+        mix st.State.subtree_max;
+        mix (if st.State.pending <> None then 1 else 0);
+        mix (if st.State.deblock <> None then 1 else 0);
+        mix (if st.State.parent = st.State.root then 1 else 0);
+        !h)
+      states
+  in
+  Array.sort compare per;
+  let h = ref 0x12345 in
+  Array.iter (fun v -> h := (!h * 1_000_003) lxor v land max_int) per;
+  !h
+
 let node_to_string nd =
   Printf.sprintf "%d/%d/%d/%d/%c/%d/%c/%c" nd.p_root nd.p_parent nd.p_dist nd.p_dmax
     (if nd.p_color then 't' else 'f')

@@ -43,6 +43,14 @@ val fingerprint_states : State.t array -> int
 (** Same hash as [fingerprint (of_states states)], allocation-free.
     [Checker.fingerprint] delegates here. *)
 
+val fingerprint_coarse : State.t array -> int
+(** Labeling-insensitive hash: a sorted multiset of per-node mixes over
+    the id-free fields (dist, dmax, color, subtree_max, phase bits, and a
+    self-rooted bit).  Invariant under node relabeling/reordering, so the
+    fuzzer's novelty search does not hoard id-permuted duplicates of one
+    shape.  Deliberately NOT the quiescence hash — do not use for golden
+    traces. *)
+
 val node_to_string : node -> string
 (** One node as ["root/parent/dist/dmax/color/stm/busy/deblock"], the
     format used by the committed golden traces. *)

@@ -248,10 +248,12 @@ end = struct
         && (st.info_age + 1 < C.info_refresh_every
            || Mdst_util.Mutation.enabled "suppression-no-refresh")
       then begin
+        Mdst_util.Mutation.probe "proto:info-suppress";
         ctx.Node.note_suppressed (Array.length ctx.Node.neighbors);
         { st with State.info_age = st.info_age + 1 }
       end
       else begin
+        if unchanged then Mdst_util.Mutation.probe "proto:info-refresh";
         let i = info_of ctx st in
         let payload = Msg.Info i in
         Array.iter (fun nb -> ctx.Node.send nb payload) ctx.Node.neighbors;
@@ -302,7 +304,14 @@ end = struct
   (* Spanning-tree module (rules R1 / R2, paper §3.2.1)                *)
   (* ---------------------------------------------------------------- *)
 
+  (* Coverage probes ([Mdst_util.Mutation.probe]) mark the rare protocol
+     phases — rule firings, search progress, the three-pass swap — so the
+     schedule fuzzer can tell executions apart by which branches they
+     reached, not only by which states they visited.  A probe site is a
+     single load-and-branch unless a harness is collecting. *)
+
   let create_new_root ctx (st : State.t) =
+    Mdst_util.Mutation.probe "proto:r1-new-root";
     { st with State.root = ctx.Node.id; parent = ctx.id; dist = 0 }
 
   (* E17 variant: the node's attachment to the tree broke — either the
@@ -342,7 +351,9 @@ end = struct
             then best := Some (v.State.w_dist, ctx.Node.neighbor_ids.(slot)))
           st.views;
         match !best with
-        | Some (dist, parent_id) -> Some { st with State.parent = parent_id; dist = dist + 1 }
+        | Some (dist, parent_id) ->
+            Mdst_util.Mutation.probe "proto:reattach";
+            Some { st with State.parent = parent_id; dist = dist + 1 }
         | None -> None
       end
     end
@@ -371,6 +382,7 @@ end = struct
       done;
       if !best < 0 then st
       else begin
+        Mdst_util.Mutation.probe "proto:r2-adopt";
         let v = views.(!best) in
         {
           st with
@@ -400,7 +412,11 @@ end = struct
     let stm = !stm in
     let st = if stm = st.State.subtree_max then st else { st with State.subtree_max = stm } in
     if st.parent = ctx.Node.id then
-      if st.dmax <> stm then { st with State.dmax = stm; color = not st.color } else st
+      if st.dmax <> stm then begin
+        Mdst_util.Mutation.probe "proto:pif-flip";
+        { st with State.dmax = stm; color = not st.color }
+      end
+      else st
     else
       match State.slot_of ctx st.parent with
       | Some slot when st.views.(slot).State.w_fresh ->
@@ -440,6 +456,7 @@ end = struct
     done;
     match !best with
     | slot when slot >= 0 ->
+        Mdst_util.Mutation.probe "proto:search-advance";
         ctx.Node.send ctx.Node.neighbors.(slot)
           (Msg.Search
              {
@@ -451,10 +468,13 @@ end = struct
     | _ -> (
         (* Dead end: backtrack to the previous stack element, if any. *)
         match stack with
-        | [] -> () (* whole tree explored without reaching the responder *)
+        | [] ->
+            Mdst_util.Mutation.probe "proto:search-deadend"
+            (* whole tree explored without reaching the responder *)
         | last :: before -> (
             match State.slot_of ctx last.Msg.e_id with
             | Some slot when State.is_tree_edge ctx st slot ->
+                Mdst_util.Mutation.probe "proto:search-backtrack";
                 ctx.Node.send ctx.Node.neighbors.(slot)
                   (Msg.Search
                      { s_edge = edge; s_idblock = idblock; s_stack = before; s_visited = visited })
@@ -554,11 +574,12 @@ end = struct
                   | Some slot when st.views.(slot).State.w_fresh -> st.views.(slot).State.w_deg
                   | Some _ | None -> -1
                 in
-                if me = fst target && st.parent = upper && upper_deg >= deg_max then
+                if me = fst target && st.parent = upper && upper_deg >= deg_max then begin
                   (* paper Fig. 2 line 5: flip the colour after a swap so the
                      neighbourhood freezes until it re-agrees — this is what
                      keeps concurrent swaps in one clique from weaving a
                      transient parent cycle. *)
+                  Mdst_util.Mutation.probe "proto:swap-commit-local";
                   Some
                     {
                       st with
@@ -566,10 +587,12 @@ end = struct
                       dist = v.State.w_dist + 1;
                       color = not st.color;
                     }
+                end
                 else None
             | me :: next :: _ ->
                 if me <> ctx.Node.id || st.parent <> next then None
                 else begin
+                  Mdst_util.Mutation.probe "proto:swap-commit-chain";
                   let st =
                     {
                       st with
@@ -602,6 +625,7 @@ end = struct
           let _, t_id = edge in
           match State.slot_of ctx t_id with
           | Some t_slot when endpoints_ok ctx st ~t_slot ~deg_max ->
+              Mdst_util.Mutation.probe "proto:swap-lock";
               let st =
                 {
                   st with
@@ -638,6 +662,7 @@ end = struct
       in
       if not valid then st
       else begin
+        Mdst_util.Mutation.probe "proto:remove-grant";
         let st =
           {
             st with
@@ -657,6 +682,7 @@ end = struct
       (* Interior hop: the chain must still ascend through us. *)
       match scan.sc_succ with
       | Some next when st.parent = next ->
+          Mdst_util.Mutation.probe "proto:remove-forward";
           let st =
             {
               st with
@@ -676,6 +702,7 @@ end = struct
         match segment with
         | first :: _ when first = me -> (
             (* We are s: commit or abort (the lock clears either way). *)
+            Mdst_util.Mutation.probe "proto:grant-commit";
             let st = { st with State.pending = None } in
             match commit_at_s ctx st ~edge ~target ~deg_max ~segment with
             | Some st -> push_update_dist ctx st
@@ -683,6 +710,7 @@ end = struct
         | _ -> (
             match segment_pred me segment with
             | Some prev ->
+                Mdst_util.Mutation.probe "proto:grant-forward";
                 send_to_id ctx prev
                   (Msg.Grant
                      { g_edge = edge; g_target = target; g_deg_max = deg_max; g_segment = segment });
@@ -715,6 +743,7 @@ end = struct
     let scan = scan_segment me segment in
     match st.State.pending with
     | Some p when p.p_edge = edge && scan.sc_present && scan.sc_pred = Some sender_id ->
+        Mdst_util.Mutation.probe "proto:reverse-flip";
         (* Flip: the sender (previous segment node) becomes our parent.  Its
            own parent is the node before it on the segment (or the anchor
            endpoint of the improving edge when it is s). *)
@@ -803,6 +832,7 @@ end = struct
             in
             if List.length dists <> List.length segment || not (strictly_descending dists) then st
             else if s_is_initiator then begin
+              Mdst_util.Mutation.probe "proto:improve";
               send_to_id ctx initiator_id
                 (Msg.Swap_req
                    {
@@ -813,10 +843,12 @@ end = struct
                    });
               st
             end
-            else
+            else begin
+              Mdst_util.Mutation.probe "proto:improve";
               handle_swap_req ctx st
                 ~edge:(ctx.Node.id, initiator_id)
-                ~target ~deg_max ~segment)
+                ~target ~deg_max ~segment
+            end)
 
   let action_on_cycle ctx (st : State.t) ~initiator_id ~idblock ~stack =
     (* [stack] arrives most-recent-first; one List.rev here rebuilds the
@@ -840,6 +872,7 @@ end = struct
          blocking; reduce their degree first. *)
       let st =
         if deg_me = dmax - 1 then begin
+          Mdst_util.Mutation.probe "proto:deblock-launch";
           (match st.State.deblock with
           | Some (b, _) when b = ctx.Node.id -> ()
           | Some _ | None -> send_deblock_flood ctx st ~idblock:ctx.Node.id ~ttl:ctx.Node.n);
@@ -909,13 +942,16 @@ end = struct
          exponentially down the subtree. *)
       (match st.State.deblock with
       | Some (b, _) when b = idblock -> ()
-      | Some _ | None -> send_deblock_flood ctx st ~idblock ~ttl:(ttl - 1));
+      | Some _ | None ->
+          Mdst_util.Mutation.probe "proto:deblock-flood";
+          send_deblock_flood ctx st ~idblock ~ttl:(ttl - 1));
       { st with State.deblock = Some (idblock, C.deblock_ttl) }
     end
 
   let handle_update_dist ctx (st : State.t) ~src ~dist ~ttl =
     let sender_id = Graph_id.of_src ctx src in
     if st.State.parent = sender_id && ttl > 0 && st.State.dist <> dist + 1 then begin
+      Mdst_util.Mutation.probe "proto:updatedist-apply";
       let st = patch_view st ctx ~nid:sender_id ~parent:None ~dist in
       let st = { st with State.dist = dist + 1 } in
       let payload = Msg.Update_dist { u_dist = st.State.dist; u_ttl = ttl - 1 } in
@@ -961,6 +997,7 @@ end = struct
             | None -> (not C.eager_prune) || st.State.dmax >= max own_deg v.State.w_deg + 1
           in
           if worth then begin
+            Mdst_util.Mutation.probe "proto:search-start";
             start_search ctx st ~responder_id:uid ~idblock;
             started := true
           end

@@ -21,3 +21,42 @@ let enabled name = List.mem name (active ())
 let any () = active () <> []
 
 let force l = forced := l
+
+(* ---------------- coverage probes ----------------
+
+   The same plumbing that threads mutant flags into the handlers carries
+   lightweight branch counters back out of them: a probe site costs one
+   load-and-branch while collection is off, and a hashtable bump while a
+   harness (the schedule fuzzer) is collecting. *)
+
+let collecting = ref false
+
+let counts : (string, int ref) Hashtbl.t = Hashtbl.create 64
+
+let probe name =
+  if !collecting then
+    match Hashtbl.find_opt counts name with
+    | Some r -> incr r
+    | None -> Hashtbl.add counts name (ref 1)
+
+let probe_n name k =
+  if !collecting && k > 0 then
+    match Hashtbl.find_opt counts name with
+    | Some r -> r := !r + k
+    | None -> Hashtbl.add counts name (ref k)
+
+let coverage_snapshot () =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) counts []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let with_coverage f =
+  if !collecting then invalid_arg "Mutation.with_coverage: already collecting";
+  Hashtbl.reset counts;
+  collecting := true;
+  match f () with
+  | v ->
+      collecting := false;
+      (v, coverage_snapshot ())
+  | exception e ->
+      collecting := false;
+      raise e

@@ -33,3 +33,25 @@ val force : string list option -> unit
 (** [force (Some slugs)] overrides the environment for the current process
     (the in-process mutation-check harness toggles mutants this way);
     [force None] reverts to the environment variable. *)
+
+(** {1 Coverage probes}
+
+    The coverage-guided schedule fuzzer ({!Mdst_check.Fuzz}) needs a
+    per-execution branch signal from the protocol handlers.  Rather than a
+    second instrumentation layer, the probes ride the same plumbing as the
+    mutant flags: a [probe] call at a handler branch costs one
+    load-and-branch while no harness is collecting, and a counter bump
+    while one is — the default build pays nothing measurable.
+
+    Collection is process-global and non-reentrant, like {!force}. *)
+
+val probe : string -> unit
+(** Record one hit of the named branch, if a collection is active. *)
+
+val probe_n : string -> int -> unit
+(** Record [k] hits at once ([k <= 0] is a no-op). *)
+
+val with_coverage : (unit -> 'a) -> 'a * (string * int) list
+(** Run the thunk with collection on; return its result and the sorted
+    [(probe, hits)] census of every probe that fired.
+    @raise Invalid_argument on nested use. *)
