@@ -3,7 +3,7 @@
 DUNE ?= dune
 SIM   = $(DUNE) exec bin/mdst_sim.exe --
 
-.PHONY: all build test pbt pbt-long explore fuzz fuzz-long mutate bench bench-json bench-proto bench-guard clean
+.PHONY: all build test pbt pbt-long explore fuzz fuzz-long mutate bench bench-json bench-proto bench-parallel bench-guard pardet clean
 
 all: build
 
@@ -60,8 +60,25 @@ bench-json: build
 bench-proto: build
 	$(SIM) bench --proto --out BENCH_proto.json
 
+# Parallel-engine trajectory: the full v2 sweep (sequential baselines plus
+# the sharded engine at 2/4/8 domains with the speedup column), then the
+# determinism gate — identical quiescence fingerprints across shard counts.
+# Speedups above 1 need more cores than domains; the JSON header records
+# how many the machine had.
+bench-parallel: build
+	$(SIM) bench --out BENCH_engine.json
+	$(SIM) pardet -f grid -n 64 -s 11 --domains 1,2,4
+
+# Parallel determinism gate alone: sharded-schedule conformance (model +
+# sequential-engine replay) and fingerprint equivalence across 1/2/4
+# shards.  Non-zero exit on any divergence.
+pardet: build
+	$(SIM) pardet -f grid -n 36 -s 7 --domains 1,2,4
+	$(SIM) pardet -f er -n 24 -s 3 --init clean --domains 1,2,4
+
 # Regression guard: re-measure quick engine points and compare against the
-# committed trajectory (fails on an events/sec drop beyond 30%).
+# committed trajectory (fails on an events/sec drop beyond 30% on any
+# matching (topology, n, domains) key; v1 baselines parse as domains=1).
 bench-guard: build
 	$(SIM) bench --quick --out /tmp/BENCH_engine_fresh.json --baseline BENCH_engine.json
 

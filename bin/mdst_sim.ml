@@ -5,6 +5,8 @@
      solve        compare FR / exact / naive baselines on one graph
      experiments  regenerate the tables and figures of EXPERIMENTS.md
      bench        engine macro-benchmarks; writes BENCH_engine.json
+     pardet       parallel-determinism check (sharded schedule conformance
+                  + fingerprint equivalence across shard counts)
      families     list the available graph families and named workloads *)
 
 open Cmdliner
@@ -77,9 +79,20 @@ let faults_arg =
        & info [ "faults" ] ~docv:"PLAN"
            ~doc:"Inject a deterministic fault plan while the protocol runs.  $(docv) is the textual plan form, e.g. $(b,seed=3|drop:0-200:0>1:0.5|crash:150:4:random|cut:100:0-1); see docs/FAULTS.md.  Convergence is only declared after the plan's last fault round.")
 
+let domains_arg =
+  Arg.(value & opt int 1
+       & info [ "domains" ] ~docv:"K"
+           ~doc:"Run the sharded parallel engine on $(docv) domains instead of the \
+                 sequential engine.  The executed schedule is independent of $(docv): any \
+                 two shard counts produce the same rounds, messages and final tree \
+                 (verify with $(b,mdst_sim pardet)).  The parallel engine draws latencies \
+                 from per-node streams, so its schedule differs from the sequential \
+                 default's even though both stabilize the same instance.  $(b,--trace) \
+                 and $(b,--faults) require the sequential engine.")
+
 let run_cmd =
   let action family n seed shuffle input save_graph init latency max_rounds dot no_oracle trace
-      faults =
+      faults domains =
     let graph = graph_of ~family ~n ~seed ~shuffle_ids:shuffle ~input in
     (match save_graph with
     | Some path ->
@@ -88,6 +101,10 @@ let run_cmd =
     | None -> ());
     Printf.printf "graph: %s  n=%d m=%d deg(G)=%d\n%!" family (Graph.n graph) (Graph.m graph)
       (Graph.max_degree graph);
+    if domains > 1 && (faults <> None || trace > 0) then begin
+      prerr_endline "mdst_sim run: --trace and --faults require the sequential engine (--domains 1)";
+      exit 2
+    end;
     let fixpoint =
       if no_oracle then fun _ -> true else fun t -> not (Mdst_baseline.Fr.improvable t)
     in
@@ -98,7 +115,9 @@ let run_cmd =
     let r, final_graph =
       match (plan, trace) with
       | None, t when t <= 0 ->
-          (Run.converge ~latency ~seed ~init ~max_rounds ~fixpoint graph, graph)
+          if domains > 1 then
+            (Run.converge_par ~latency ~seed ~init ~max_rounds ~fixpoint ~domains graph, graph)
+          else (Run.converge ~latency ~seed ~init ~max_rounds ~fixpoint graph, graph)
       | _ ->
           let engine = Run.make_engine ~latency ~seed ~init graph in
           Option.iter
@@ -158,7 +177,8 @@ let run_cmd =
   let term =
     Term.(
       const action $ family_arg $ n_arg $ seed_arg $ shuffle_arg $ input_arg $ save_graph_arg
-      $ init_arg $ latency_arg $ max_rounds_arg $ dot_arg $ oracle_arg $ trace_arg $ faults_arg)
+      $ init_arg $ latency_arg $ max_rounds_arg $ dot_arg $ oracle_arg $ trace_arg $ faults_arg
+      $ domains_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Simulate the self-stabilizing MDST protocol on one graph.") term
 
@@ -331,6 +351,78 @@ let bench_cmd =
        ~doc:"Macro-benchmarks: the engine trajectory (E19, default; BENCH_engine.json, \
              optional --baseline regression guard) or the protocol trajectory (E20, \
              --proto; BENCH_proto.json).")
+    term
+
+(* ---- pardet ---- *)
+
+let pardet_cmd =
+  let domains_list_arg =
+    Arg.(value & opt (list int) [ 1; 2; 4 ]
+         & info [ "domains" ] ~docv:"K,K,..."
+             ~doc:"Shard counts to cross-validate (comma-separated).")
+  in
+  let until_arg =
+    Arg.(value & opt float 40.0
+         & info [ "until" ] ~docv:"T"
+             ~doc:"Virtual-time horizon of the recorded conformance run.")
+  in
+  let max_rounds_arg =
+    Arg.(value & opt int Run.default_max_rounds
+         & info [ "max-rounds" ] ~doc:"Round budget for the fingerprint convergence runs.")
+  in
+  (* Parcheck's init is the closed [`Clean | `Random]; the shared init_arg
+     unifies with Run.init (which also admits `Tree). *)
+  let pinit_arg =
+    Arg.(value
+         & opt (enum [ ("clean", `Clean); ("random", `Random) ]) `Random
+         & info [ "init" ] ~docv:"INIT"
+             ~doc:"Initial configuration: $(b,clean) or $(b,random) (adversarial).")
+  in
+  let action family n seed input init domains until max_rounds =
+    let graph = graph_of ~family ~n ~seed ~shuffle_ids:false ~input in
+    Printf.printf "graph: %s  n=%d m=%d  seed=%d  init=%s\n%!" family (Graph.n graph)
+      (Graph.m graph) seed
+      (match init with `Clean -> "clean" | `Random -> "random");
+    let module P = Mdst_check.Parcheck in
+    let failures = ref 0 in
+    (* Sharded-schedule conformance: the merged (time, shard, seq) schedule
+       of every k>1 run must replay through the reference model and the
+       sequential engine.  k=1 is the definitional baseline — skipped. *)
+    List.iter
+      (fun d ->
+        if d > 1 then begin
+          let r = P.Default.run_case { P.graph; seed; init; domains = d; until } in
+          match r.P.failure with
+          | None ->
+              Printf.printf "  conformance domains=%d: OK (%d events replayed)\n%!" d r.P.events
+          | Some why ->
+              incr failures;
+              Printf.printf "  conformance domains=%d: FAIL — %s\n%!" d why
+        end)
+      domains;
+    let eq = P.Default.fingerprint_equivalence ~max_rounds ~seed ~init ~domains graph in
+    List.iter
+      (fun (d, converged, fp) ->
+        Printf.printf "  domains=%d  converged=%b  fingerprint=%d\n" d converged fp)
+      eq.P.per_domain;
+    if eq.P.agree then print_endline "fingerprints: MATCH"
+    else begin
+      incr failures;
+      print_endline "fingerprints: DIVERGED"
+    end;
+    if !failures > 0 then exit 1
+  in
+  let term =
+    Term.(
+      const action $ family_arg $ n_arg $ seed_arg $ input_arg $ pinit_arg $ domains_list_arg
+      $ until_arg $ max_rounds_arg)
+  in
+  Cmd.v
+    (Cmd.info "pardet"
+       ~doc:"Parallel-determinism check: replay a sharded run's merged schedule through the \
+             reference model and the sequential engine, then converge the same instance \
+             under several shard counts and require identical quiescence fingerprints.  \
+             Non-zero exit on any divergence.")
     term
 
 (* ---- pbt ---- *)
@@ -754,4 +846,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; solve_cmd; compare_cmd; props_cmd; experiments_cmd; bench_cmd; pbt_cmd; explore_cmd; fuzz_cmd; mutate_cmd; families_cmd ]))
+          [ run_cmd; solve_cmd; compare_cmd; props_cmd; experiments_cmd; bench_cmd; pardet_cmd; pbt_cmd; explore_cmd; fuzz_cmd; mutate_cmd; families_cmd ]))

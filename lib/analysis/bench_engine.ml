@@ -7,6 +7,13 @@
    serialize these points to BENCH_engine.json so regressions in the
    delivery hot path or the memory model are visible across commits.
 
+   Since schema v2 the sweep also measures the sharded parallel engine
+   ({!Mdst_sim.Pengine}) at several domain counts: each parallel point
+   carries a [speedup] against the sequential engine on the same
+   (topology, n), and the header records how many cores the machine
+   actually had — a speedup measured on fewer cores than domains is an
+   oversubscription datum, not a scaling claim.
+
    The workload is the real protocol from a clean start — tree
    construction, gossip and search traffic all exercise the send/deliver
    path — stepped for a fixed event budget rather than to convergence, so
@@ -21,15 +28,25 @@ type point = {
   topology : string;
   n : int;
   m : int;
+  domains : int;  (** 1 = the sequential engine, >1 = Pengine shards *)
   events : int;  (** engine events processed during the timed window *)
   elapsed_s : float;
   events_per_sec : float;
+  speedup : float;  (** vs the domains=1 point of the same (topology, n) *)
   engine_bytes : int;  (** live-heap delta attributable to engine + run *)
 }
 
 let sizes ~quick = if quick then [ 64; 256 ] else [ 64; 256; 1024; 2048 ]
 
+(* Parallel sweep: largest sizes only (small instances measure
+   synchronisation, not throughput). *)
+let par_sizes ~quick = if quick then [ 256 ] else [ 1024; 2048 ]
+
+let par_domains ~quick = if quick then [ 2 ] else [ 2; 4; 8 ]
+
 let event_budget ~quick = if quick then 20_000 else 200_000
+
+let cores () = Domain.recommended_domain_count ()
 
 let graph_for topology n =
   match topology with
@@ -58,26 +75,92 @@ let bench_point ~topology ~events graph =
     topology;
     n = Graph.n graph;
     m = Graph.m graph;
+    domains = 1;
     events = !stepped;
     elapsed_s = elapsed;
-    events_per_sec =
-      (if elapsed > 0.0 then float_of_int !stepped /. elapsed else 0.0);
+    events_per_sec = (if elapsed > 0.0 then float_of_int !stepped /. elapsed else 0.0);
+    speedup = 1.0;
     engine_bytes = max 0 (after - before);
   }
 
+(* The parallel engine advances whole virtual-time windows, so the event
+   count overshoots the budget by at most one window's worth; the rate uses
+   the count actually executed. *)
+let bench_point_par ~topology ~events ~domains graph =
+  let before = live_bytes () in
+  let engine = Run.make_pengine ~seed:11 ~init:`Clean ~domains graph in
+  let t0 = Unix.gettimeofday () in
+  while Run.Pengine.events engine < events do
+    Run.Pengine.run_window engine ~until:(Run.Pengine.now engine +. 8.0)
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let executed = Run.Pengine.events engine in
+  let after = live_bytes () in
+  ignore (Sys.opaque_identity engine);
+  {
+    topology;
+    n = Graph.n graph;
+    m = Graph.m graph;
+    domains;
+    events = executed;
+    elapsed_s = elapsed;
+    events_per_sec = (if elapsed > 0.0 then float_of_int executed /. elapsed else 0.0);
+    speedup = 0.0 (* filled by [with_speedups] *);
+    engine_bytes = max 0 (after - before);
+  }
+
+let with_speedups pts =
+  List.map
+    (fun p ->
+      if p.domains = 1 then { p with speedup = 1.0 }
+      else
+        match
+          List.find_opt
+            (fun b -> b.domains = 1 && b.topology = p.topology && b.n = p.n)
+            pts
+        with
+        | Some b when b.events_per_sec > 0.0 ->
+            { p with speedup = p.events_per_sec /. b.events_per_sec }
+        | _ -> { p with speedup = 0.0 })
+    pts
+
+(* An untimed warm-up run before the sweep: the first measured point used
+   to absorb one-off costs (page faults, branch-predictor and allocator
+   warm-up, lazy runtime initialisation), which showed up as a systematic
+   dip on whichever (topology, n) happened to run first. *)
+let warmup () =
+  let g = graph_for "er" 64 in
+  ignore (Sys.opaque_identity (bench_point ~topology:"er" ~events:5_000 g))
+
 let points ?(quick = false) () =
   let events = event_budget ~quick in
-  List.concat_map
-    (fun topology ->
-      List.map
-        (fun n -> bench_point ~topology ~events (graph_for topology n))
-        (sizes ~quick))
-    [ "er"; "grid" ]
+  warmup ();
+  let seq =
+    List.concat_map
+      (fun topology ->
+        List.map
+          (fun n -> bench_point ~topology ~events (graph_for topology n))
+          (sizes ~quick))
+      [ "er"; "grid" ]
+  in
+  let par =
+    List.concat_map
+      (fun topology ->
+        List.concat_map
+          (fun n ->
+            let graph = graph_for topology n in
+            List.map
+              (fun domains -> bench_point_par ~topology ~events ~domains graph)
+              (par_domains ~quick))
+          (par_sizes ~quick))
+      [ "er"; "grid" ]
+  in
+  with_speedups (seq @ par)
 
 let table pts =
   let t =
     Table.make ~title:"E19: engine macro-benchmarks (fault-free protocol, clean start)"
-      ~columns:[ "topology"; "n"; "m"; "events"; "events/s"; "engine MB" ]
+      ~columns:[ "topology"; "n"; "m"; "domains"; "events"; "events/s"; "speedup"; "engine MB" ]
   in
   List.iter
     (fun p ->
@@ -86,13 +169,18 @@ let table pts =
           p.topology;
           Table.cell_int p.n;
           Table.cell_int p.m;
+          Table.cell_int p.domains;
           Table.cell_int p.events;
           Table.cell_float ~decimals:0 p.events_per_sec;
+          Table.cell_float ~decimals:2 p.speedup;
           Table.cell_float ~decimals:2 (float_of_int p.engine_bytes /. 1e6);
         ])
     pts;
   Table.add_note t
     "engine MB = live-heap delta of engine + run (sparse FIFO floors: O(n + m), no n^2 matrix)";
+  Table.add_note t
+    (Printf.sprintf "speedup = events/s vs the domains=1 row of the same (topology, n); %d cores available"
+       (cores ()));
   t
 
 let run ?(quick = false) () = [ table (points ~quick ()) ]
@@ -102,15 +190,18 @@ let run ?(quick = false) () = [ table (points ~quick ()) ]
 let to_json ?(quick = false) pts =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
-    (Printf.sprintf "{\n  \"schema\": \"mdst-bench-engine/1\",\n  \"quick\": %b,\n  \"points\": [\n"
-       quick);
+    (Printf.sprintf
+       "{\n  \"schema\": \"mdst-bench-engine/2\",\n  \"quick\": %b,\n  \"cores\": %d,\n  \"points\": [\n"
+       quick (cores ()));
   List.iteri
     (fun i p ->
       Buffer.add_string buf
         (Printf.sprintf
-           "    {\"topology\": %S, \"n\": %d, \"m\": %d, \"events\": %d, \
-            \"elapsed_s\": %.17g, \"events_per_sec\": %.1f, \"engine_bytes\": %d}%s\n"
-           p.topology p.n p.m p.events p.elapsed_s p.events_per_sec p.engine_bytes
+           "    {\"topology\": %S, \"n\": %d, \"m\": %d, \"domains\": %d, \"events\": %d, \
+            \"elapsed_s\": %.17g, \"events_per_sec\": %.1f, \"speedup\": %.3f, \
+            \"engine_bytes\": %d}%s\n"
+           p.topology p.n p.m p.domains p.events p.elapsed_s p.events_per_sec p.speedup
+           p.engine_bytes
            (if i = List.length pts - 1 then "" else ",")))
     pts;
   Buffer.add_string buf "  ]\n}\n";
@@ -123,20 +214,41 @@ let write_json ~path ?(quick = false) pts =
 
 (* --- Regression guard ----------------------------------------------------- *)
 
-(* Line-oriented reader of exactly the shape [to_json] emits — one point
-   object per line.  Lines that do not parse (header, closing brackets,
-   future fields) are skipped, so the guard degrades to "no baseline
-   points" rather than crashing on schema drift. *)
+(* Line-oriented reader of the shapes [to_json] emits — one point object
+   per line.  Both the v2 schema (with domains/speedup) and the v1 schema
+   (sequential-only; implies domains=1) parse, so the guard keeps working
+   across the schema bump; other lines (header, closing brackets, future
+   fields) are skipped, degrading to "no baseline points" rather than
+   crashing on drift. *)
 let parse_point_line line =
   match
     Scanf.sscanf line
-      " {\"topology\": %S, \"n\": %d, \"m\": %d, \"events\": %d, \"elapsed_s\": %f, \
-       \"events_per_sec\": %f, \"engine_bytes\": %d"
-      (fun topology n m events elapsed_s events_per_sec engine_bytes ->
-        { topology; n; m; events; elapsed_s; events_per_sec; engine_bytes })
+      " {\"topology\": %S, \"n\": %d, \"m\": %d, \"domains\": %d, \"events\": %d, \
+       \"elapsed_s\": %f, \"events_per_sec\": %f, \"speedup\": %f, \"engine_bytes\": %d"
+      (fun topology n m domains events elapsed_s events_per_sec speedup engine_bytes ->
+        { topology; n; m; domains; events; elapsed_s; events_per_sec; speedup; engine_bytes })
   with
   | p -> Some p
-  | exception (Scanf.Scan_failure _ | End_of_file | Failure _) -> None
+  | exception (Scanf.Scan_failure _ | End_of_file | Failure _) -> (
+      match
+        Scanf.sscanf line
+          " {\"topology\": %S, \"n\": %d, \"m\": %d, \"events\": %d, \"elapsed_s\": %f, \
+           \"events_per_sec\": %f, \"engine_bytes\": %d"
+          (fun topology n m events elapsed_s events_per_sec engine_bytes ->
+            {
+              topology;
+              n;
+              m;
+              domains = 1;
+              events;
+              elapsed_s;
+              events_per_sec;
+              speedup = 1.0;
+              engine_bytes;
+            })
+      with
+      | p -> Some p
+      | exception (Scanf.Scan_failure _ | End_of_file | Failure _) -> None)
 
 let load_json path =
   let ic = open_in path in
@@ -151,14 +263,18 @@ let load_json path =
       go [])
 
 (* Compare fresh points against a committed baseline on the intersection of
-   (topology, n) keys: any events/sec drop beyond [tolerance] (a fraction,
-   default 30%) is reported.  Machines differ, so the guard is deliberately
-   loose — it exists to catch order-of-magnitude hot-path regressions, not
-   single-digit noise. *)
+   (topology, n, domains) keys: any events/sec drop beyond [tolerance] (a
+   fraction, default 30%) is reported.  Machines differ, so the guard is
+   deliberately loose — it exists to catch order-of-magnitude hot-path
+   regressions, not single-digit noise. *)
 let regressions ?(tolerance = 0.3) ~baseline fresh =
   List.filter_map
     (fun b ->
-      match List.find_opt (fun p -> p.topology = b.topology && p.n = b.n) fresh with
+      match
+        List.find_opt
+          (fun p -> p.topology = b.topology && p.n = b.n && p.domains = b.domains)
+          fresh
+      with
       | None -> None
       | Some _ when b.events_per_sec <= 0.0 -> None
       | Some p ->
@@ -166,8 +282,9 @@ let regressions ?(tolerance = 0.3) ~baseline fresh =
           if p.events_per_sec < floor then
             Some
               (Printf.sprintf
-                 "%s n=%d: %.0f events/s vs baseline %.0f (%.0f%% drop > %.0f%% tolerance)"
-                 p.topology p.n p.events_per_sec b.events_per_sec
+                 "%s n=%d domains=%d: %.0f events/s vs baseline %.0f (%.0f%% drop > %.0f%% \
+                  tolerance)"
+                 p.topology p.n p.domains p.events_per_sec b.events_per_sec
                  (100.0 *. (1.0 -. (p.events_per_sec /. b.events_per_sec)))
                  (100.0 *. tolerance))
           else None)

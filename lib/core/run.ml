@@ -127,6 +127,66 @@ struct
         recovery_rounds = (if outcome2.converged then Some (outcome2.rounds - start) else None);
       }
     end
+
+  (* ---- Sharded parallel engine (Pengine) counterparts. ---- *)
+
+  module Pengine = Mdst_sim.Pengine.Make (A)
+
+  let make_pengine ?(latency = Latency.uniform ()) ?(seed = 42) ?(init = `Clean) ?record
+      ?partition ~domains graph =
+    let engine_init =
+      match (init : init) with
+      | `Clean -> `Clean
+      | `Random -> `Random
+      | `Tree t -> `Custom (state_of_tree t)
+    in
+    Pengine.create ~latency ~seed ~init:engine_init ?record ?partition ~domains graph
+
+  (* Same detector as [make_stop], over the parallel engine's accessors.
+     It only runs between windows, where the engine is single-threaded. *)
+  let make_pstop ?(quiet_rounds = 60) ?(fixpoint = fun _ -> true) () =
+    let last_fp = ref 0 in
+    let stable_since = ref (-1) in
+    fun t ->
+      let states = Pengine.states t in
+      let fp = Checker.fingerprint states in
+      if fp <> !last_fp then begin
+        last_fp := fp;
+        stable_since := Pengine.rounds t
+      end;
+      !stable_since >= 0
+      && Pengine.rounds t - !stable_since >= quiet_rounds
+      && Checker.legitimate (Pengine.graph t) states
+      &&
+      match Checker.tree_of_states (Pengine.graph t) states with
+      | Some tree -> fixpoint tree
+      | None -> false
+
+  let psnapshot engine ~converged =
+    let graph = Pengine.graph engine in
+    let states = Pengine.states engine in
+    let tree = Checker.tree_of_states graph states in
+    let metrics = Pengine.metrics engine in
+    {
+      converged;
+      rounds = Pengine.rounds engine;
+      time = Pengine.now engine;
+      deliveries = Mdst_sim.Metrics.deliveries metrics;
+      tree;
+      degree = Option.map Tree.max_degree tree;
+      messages = Mdst_sim.Metrics.messages_by_label metrics;
+      total_messages = Mdst_sim.Metrics.total_messages metrics;
+      total_bits = Mdst_sim.Metrics.total_bits metrics;
+      max_state_bits = Mdst_sim.Metrics.max_state_bits metrics;
+      max_msg_bits = Mdst_sim.Metrics.max_msg_bits metrics;
+    }
+
+  let converge_par ?latency ?seed ?init ?(max_rounds = default_max_rounds) ?quiet_rounds
+      ?fixpoint ?window ~domains graph =
+    let engine = make_pengine ?latency ?seed ?init ~domains graph in
+    let stop = make_pstop ?quiet_rounds ?fixpoint () in
+    let outcome = Pengine.run engine ~max_rounds ?window ~stop () in
+    psnapshot engine ~converged:outcome.converged
 end
 
 module Default_runner = Runner (Proto.Default)

@@ -82,12 +82,49 @@ module Runner (A : Mdst_sim.Node.AUTOMATON with type state = State.t and type ms
     recovery
   (** Converge, corrupt [fraction] of the nodes (states + channels),
       measure rounds to re-convergence (experiment E4). *)
+
+  (** {2 Sharded parallel engine}
+
+      Same harness over {!Mdst_sim.Pengine}: identical initial
+      configurations for a given (seed, init) — the parallel engine
+      replays the sequential create's draws — and the same convergence
+      detector, evaluated between windows. *)
+
+  module Pengine : module type of Mdst_sim.Pengine.Make (A)
+
+  val make_pengine :
+    ?latency:Mdst_sim.Latency.t ->
+    ?seed:int ->
+    ?init:init ->
+    ?record:bool ->
+    ?partition:int array ->
+    domains:int ->
+    Mdst_graph.Graph.t ->
+    Pengine.t
+
+  val make_pstop :
+    ?quiet_rounds:int -> ?fixpoint:(Mdst_graph.Tree.t -> bool) -> unit -> Pengine.t -> bool
+
+  val psnapshot : Pengine.t -> converged:bool -> result
+
+  val converge_par :
+    ?latency:Mdst_sim.Latency.t ->
+    ?seed:int ->
+    ?init:init ->
+    ?max_rounds:int ->
+    ?quiet_rounds:int ->
+    ?fixpoint:(Mdst_graph.Tree.t -> bool) ->
+    ?window:float ->
+    domains:int ->
+    Mdst_graph.Graph.t ->
+    result
 end
 
 (** The default protocol instance, re-exported at the top level. *)
 module Default_runner : module type of Runner (Proto.Default)
 
 module Engine = Default_runner.Engine
+module Pengine = Default_runner.Pengine
 
 val make_engine :
   ?latency:Mdst_sim.Latency.t -> ?seed:int -> ?init:init -> Mdst_graph.Graph.t -> Engine.t
@@ -117,3 +154,30 @@ val converge_corrupt_recover :
   fraction:float ->
   Mdst_graph.Graph.t ->
   recovery
+
+val make_pengine :
+  ?latency:Mdst_sim.Latency.t ->
+  ?seed:int ->
+  ?init:init ->
+  ?record:bool ->
+  ?partition:int array ->
+  domains:int ->
+  Mdst_graph.Graph.t ->
+  Pengine.t
+
+val make_pstop :
+  ?quiet_rounds:int -> ?fixpoint:(Mdst_graph.Tree.t -> bool) -> unit -> Pengine.t -> bool
+
+val psnapshot : Pengine.t -> converged:bool -> result
+
+val converge_par :
+  ?latency:Mdst_sim.Latency.t ->
+  ?seed:int ->
+  ?init:init ->
+  ?max_rounds:int ->
+  ?quiet_rounds:int ->
+  ?fixpoint:(Mdst_graph.Tree.t -> bool) ->
+  ?window:float ->
+  domains:int ->
+  Mdst_graph.Graph.t ->
+  result

@@ -37,6 +37,12 @@ type observation =
   | Obs_deliver of { src : int; dst : int; label : string; round : int; time : float }
   | Obs_fault of { kind : string; detail : string; round : int; time : float }
 
+val fifo_epsilon : float
+(** Minimum spacing the FIFO floor enforces between consecutive arrivals on
+    one channel.  Exposed so {!Pengine} applies the {e same} constant — the
+    two engines must agree on timestamps for the conformance replay to
+    hold. *)
+
 module Make (A : Node.AUTOMATON) : sig
   type t
 

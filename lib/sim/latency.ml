@@ -7,11 +7,20 @@ type t = {
      draw on its per-send path (bit-identical arithmetic, same single
      generator step) to avoid the closure-call float boxing. *)
   uniform_range : (float * float) option;
+  (* Positive lower bound on every delay the model can emit, over all
+     channels and draws.  The sharded parallel engine's conservative
+     lookahead is exactly this bound: a shard that has executed
+     everything before time T cannot cause a delivery before
+     [T + min_delay], so every other shard may safely run up to that
+     horizon.  A model violating its declared bound would break the
+     parallel engine's determinism (a late-discovered event in a shard's
+     past), hence the invariant is stated here and pinned by tests. *)
+  min_delay : float;
 }
 
 let constant d =
   if d <= 0.0 then invalid_arg "Latency.constant: delay must be positive";
-  { name = "constant"; sample = (fun _ ~src:_ ~dst:_ -> d); uniform_range = None }
+  { name = "constant"; sample = (fun _ ~src:_ ~dst:_ -> d); uniform_range = None; min_delay = d }
 
 let uniform ?(lo = 0.5) ?(hi = 1.5) () =
   if lo <= 0.0 || hi < lo then invalid_arg "Latency.uniform";
@@ -19,6 +28,7 @@ let uniform ?(lo = 0.5) ?(hi = 1.5) () =
     name = "uniform";
     sample = (fun rng ~src:_ ~dst:_ -> lo +. Prng.float rng (hi -. lo));
     uniform_range = Some (lo, hi);
+    min_delay = lo;
   }
 
 let exponential ?(mean = 1.0) () =
@@ -27,6 +37,8 @@ let exponential ?(mean = 1.0) () =
     name = "exponential";
     sample = (fun rng ~src:_ ~dst:_ -> 0.01 +. Prng.exponential rng (1.0 /. mean));
     uniform_range = None;
+    (* The additive floor: Prng.exponential is nonnegative. *)
+    min_delay = 0.01;
   }
 
 (* Deterministic per-link hash so the slowed set is stable across a run.
@@ -36,6 +48,7 @@ let link_hash seed src dst =
   Prng.float_of_seed (seed lxor (src * 1_000_003) lxor (dst * 7_368_787))
 
 let slow_links ?(factor = 10.0) ?(fraction = 0.15) ~base seed =
+  if factor <= 0.0 then invalid_arg "Latency.slow_links: factor must be positive";
   {
     name = "slow-links";
     sample =
@@ -43,9 +56,12 @@ let slow_links ?(factor = 10.0) ?(fraction = 0.15) ~base seed =
         let d = base.sample rng ~src ~dst in
         if link_hash seed src dst < fraction then d *. factor else d);
     uniform_range = None;
+    (* A factor below 1 would speed the slowed set up. *)
+    min_delay = base.min_delay *. Float.min 1.0 factor;
   }
 
 let node_skew ?(max_factor = 8.0) ~base seed =
+  if max_factor <= 0.0 then invalid_arg "Latency.node_skew: max_factor must be positive";
   {
     name = "node-skew";
     sample =
@@ -54,11 +70,16 @@ let node_skew ?(max_factor = 8.0) ~base seed =
         let f = 1.0 +. (link_hash seed dst dst *. (max_factor -. 1.0)) in
         d *. f);
     uniform_range = None;
+    (* f = 1 + h * (max_factor - 1) over h in [0, 1): bounded below by 1
+       when max_factor >= 1, by max_factor itself otherwise. *)
+    min_delay = base.min_delay *. Float.min 1.0 max_factor;
   }
 
 let sample t rng ~src ~dst = t.sample rng ~src ~dst
 
 let uniform_params t = t.uniform_range
+
+let min_delay t = t.min_delay
 
 let name t = t.name
 

@@ -34,6 +34,17 @@ val uniform_params : t -> (float * float) option
     step, bit-identical arithmetic) to avoid closure-call float
     boxing.  Composite models wrapping a uniform base report [None]. *)
 
+val min_delay : t -> float
+(** Positive lower bound on every delay the model can emit, over all
+    channels and draws.  This is the {e lookahead} of the sharded parallel
+    engine ({!Pengine}): a shard that has executed everything before time
+    [T] cannot cause a delivery anywhere before [T + min_delay], so peers
+    may safely run up to that horizon.  Models must honour their declared
+    bound — the built-in ones do by construction ([constant d] returns
+    [d]; [uniform] its [lo]; [exponential] its additive floor; the
+    composite adversaries scale their base's bound by the smallest factor
+    they can apply). *)
+
 val name : t -> string
 
 val by_name : string -> int -> t

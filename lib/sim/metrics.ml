@@ -51,6 +51,22 @@ let deliveries t = t.deliveries
 
 let total_bits t = t.total_bits
 
+let merge_into ~into src =
+  Hashtbl.iter
+    (fun label c ->
+      match Hashtbl.find_opt into.by_label label with
+      | Some d ->
+          d.count <- d.count + c.count;
+          d.bits_sum <- d.bits_sum + c.bits_sum
+      | None -> Hashtbl.add into.by_label label { count = c.count; bits_sum = c.bits_sum })
+    src.by_label;
+  into.sends <- into.sends + src.sends;
+  into.deliveries <- into.deliveries + src.deliveries;
+  into.total_bits <- into.total_bits + src.total_bits;
+  if src.max_state_bits > into.max_state_bits then into.max_state_bits <- src.max_state_bits;
+  if src.max_msg_bits > into.max_msg_bits then into.max_msg_bits <- src.max_msg_bits;
+  into.suppressed <- into.suppressed + src.suppressed
+
 let sorted t project =
   Hashtbl.fold (fun k c acc -> (k, project c) :: acc) t.by_label [] |> List.sort compare
 

@@ -38,6 +38,11 @@ val max_state_bits : t -> int
 val max_msg_bits : t -> int
 (** Largest single message observed, in idealised bits. *)
 
+val merge_into : into:t -> t -> unit
+(** Accumulate another record's counters into [into] (peaks take the max).
+    The sharded parallel engine keeps one record per shard so the per-send
+    hot path stays contention-free, and merges them on demand. *)
+
 val reset : t -> unit
 
 val pp : Format.formatter -> t -> unit

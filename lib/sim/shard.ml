@@ -1,0 +1,92 @@
+(* Shared scaffolding for the sharded parallel engine: published clocks,
+   the (shard, seq) event-key encoding, cross-shard adjacency, and the
+   wait-loop backoff.  Kept separate from {!Pengine} so the pieces with
+   delicate memory-ordering arguments stay small and independently
+   testable. *)
+
+(* ------------------------------------------------------------------ *)
+(* Event keys.
+
+   The parallel engine orders events by [(time, shard, seq)]: [shard] is
+   the shard that *created* the event, [seq] its per-shard creation
+   counter.  Packing both into one int lets {!Mdst_util.Heap.push_at}
+   break time ties with a single int compare, and makes the tie-break a
+   property of the event itself — two runs that create the same events
+   agree on the order no matter when each shard drained its inboxes. *)
+
+let shard_bits = 11
+let seq_bits = 51
+let max_shards = 1 lsl shard_bits
+
+let key ~shard ~seq = (shard lsl seq_bits) lor seq
+let key_shard k = k lsr seq_bits
+let key_seq k = k land ((1 lsl seq_bits) - 1)
+
+(* ------------------------------------------------------------------ *)
+(* Published clocks.
+
+   Each shard publishes a lower bound on the timestamp of anything it
+   may still send: peers read it to compute how far they can safely
+   execute (the null message of conservative PDES, collapsed into one
+   atomic per shard).  Clocks are [float Atomic.t]: a publish boxes one
+   float, but publishes happen once per synchronisation pass, not per
+   event, so the allocation is noise.  (Packing the IEEE bits into an
+   unboxed [int Atomic.t] does NOT work: doubles at or above 2.0 use bit
+   62 of the payload, which overflows OCaml's 63-bit int into the sign —
+   every publish past virtual time 2.0 would silently be dropped as
+   "not an advance".)  [Atomic] in OCaml 5 is sequentially consistent,
+   which is what the publish/read protocol in {!Pengine} relies on. *)
+
+module Clocks = struct
+  type t = float Atomic.t array
+
+  let create k = Array.init k (fun _ -> Atomic.make 0.0)
+
+  let get (t : t) s = Atomic.get t.(s)
+
+  (* Only shard [s]'s domain writes clock [s], so a plain read-compare-set
+     suffices: there is no competing writer to race with, the atomic is
+     only needed for cross-domain visibility. *)
+  let advance (t : t) s v =
+    if not (v >= 0.0) then invalid_arg "Shard.Clocks: clock must be non-negative";
+    if v > Atomic.get t.(s) then Atomic.set t.(s) v
+
+  (* Poison on worker failure: lets peers finish their window instead of
+     waiting forever on a clock that will never move again. *)
+  let infinity_ (t : t) s = Atomic.set t.(s) infinity
+end
+
+(* ------------------------------------------------------------------ *)
+(* Cross-shard adjacency: [in_shards.(s)] lists the shards holding a
+   graph neighbour of some node in [s] — exactly the clocks shard [s]
+   must read and the mailboxes it must drain. *)
+
+let in_shards graph part ~k =
+  let touch = Array.make_matrix k k false in
+  Mdst_graph.Graph.iter_edges graph (fun u v ->
+      let pu = part.(u) and pv = part.(v) in
+      if pu <> pv then begin
+        touch.(pu).(pv) <- true;
+        touch.(pv).(pu) <- true
+      end);
+  Array.init k (fun s ->
+      let acc = ref [] in
+      for s' = k - 1 downto 0 do
+        if touch.(s).(s') then acc := s' :: !acc
+      done;
+      Array.of_list !acc)
+
+(* ------------------------------------------------------------------ *)
+(* Backoff for wait loops (a shard waiting on a peer's clock, or a
+   producer retrying a full mailbox).  Starts with [cpu_relax] spins and
+   escalates to short sleeps: on machines with fewer cores than domains
+   — including the single-core CI containers this repo tests on — a
+   pure spin loop starves the very domain being waited on. *)
+
+let backoff n =
+  if n < 16 then Domain.cpu_relax ()
+  else if n < 64 then
+    for _ = 1 to 32 do
+      Domain.cpu_relax ()
+    done
+  else Unix.sleepf (if n < 256 then 50e-6 else 500e-6)

@@ -1,0 +1,51 @@
+(** Scaffolding for the sharded parallel engine ({!Pengine}): event-key
+    encoding, published per-shard clocks, cross-shard adjacency and
+    wait-loop backoff. *)
+
+val shard_bits : int
+val seq_bits : int
+
+val max_shards : int
+(** [2 ^ shard_bits]: the largest shard count the key encoding admits. *)
+
+val key : shard:int -> seq:int -> int
+(** Packs the creating shard and its per-shard creation counter into one
+    int ordering as [(shard, seq)] lexicographically.  Used as the heap
+    tie-break so the [(time, shard, seq)] total order is a property of
+    the event, independent of inbox drain timing. *)
+
+val key_shard : int -> int
+val key_seq : int -> int
+
+module Clocks : sig
+  (** One published clock per shard: a lower bound on the timestamp of
+      anything that shard may still send.  Reads are allocation-free; a
+      publish boxes one float (once per synchronisation pass — noise). *)
+
+  type t
+
+  val create : int -> t
+  (** All clocks start at virtual time 0. *)
+
+  val get : t -> int -> float
+
+  val advance : t -> int -> float -> unit
+  (** Monotone publish; values below the current clock are ignored.  Must
+      only be called from the owning shard's domain (single-writer).
+      @raise Invalid_argument on negative or NaN values. *)
+
+  val infinity_ : t -> int -> unit
+  (** Poison the clock so peers stop waiting on this shard (worker
+      failure path). *)
+end
+
+val in_shards : Mdst_graph.Graph.t -> int array -> k:int -> int array array
+(** [in_shards graph part ~k] gives, per shard, the ascending list of
+    other shards sharing a cut edge with it — the clocks it must watch
+    and the mailboxes it must drain. *)
+
+val backoff : int -> unit
+(** [backoff n] waits proportionally to the number [n] of consecutive
+    fruitless polls: spins first, then short sleeps.  The sleep phase
+    matters when domains outnumber cores — a pure spin starves the peer
+    being waited on. *)

@@ -93,6 +93,18 @@ let push t ~prio value =
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
 
+let push_at t ~prio ~seq value =
+  if t.size = Array.length t.prios then grow t;
+  t.prios.(t.size) <- prio;
+  t.seqs.(t.size) <- seq;
+  t.values.(t.size) <- value;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let top_seq t =
+  if t.size = 0 then invalid_arg "Heap.top_seq: empty heap";
+  t.seqs.(0)
+
 let top_prio t =
   if t.size = 0 then invalid_arg "Heap.top_prio: empty heap";
   t.prios.(0)

@@ -1,0 +1,64 @@
+(* Bounded single-producer / single-consumer mailbox.
+
+   One OCaml 5 domain pushes, one other domain pops; the ring indices are
+   the only shared mutable state.  [Atomic] operations in OCaml are
+   sequentially consistent, so the producer's plain write into [slots]
+   happens-before the consumer's read of the same slot: the producer
+   publishes the slot by storing [tail], and the consumer only reads slots
+   strictly below the [tail] it loaded.  Slot indices are monotonically
+   increasing ints masked into the ring, so producer and consumer never
+   touch the same slot concurrently (the producer writes index [i] only
+   when [i - head < capacity], i.e. after the consumer is done with it).
+
+   Vacated slots are overwritten with a dummy on pop, exactly like
+   {!Heap}: a parallel-engine mailbox is long-lived and must not pin the
+   last messages that crossed it. *)
+
+type 'a t = {
+  slots : 'a array;
+  mask : int;
+  head : int Atomic.t;  (* next index to pop; advanced only by the consumer *)
+  tail : int Atomic.t;  (* next index to push; advanced only by the producer *)
+  dummy : 'a;
+}
+
+let create ?(capacity = 1024) () =
+  if capacity <= 0 then invalid_arg "Mailbox.create: capacity must be positive";
+  (* Round up to a power of two so the ring index is a mask, not a mod. *)
+  let cap = ref 1 in
+  while !cap < capacity do
+    cap := !cap * 2
+  done;
+  {
+    slots = Array.make !cap (Obj.magic 0);
+    mask = !cap - 1;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+    dummy = Obj.magic 0;
+  }
+
+let capacity t = t.mask + 1
+
+let length t = Atomic.get t.tail - Atomic.get t.head
+
+let is_empty t = length t = 0
+
+let try_push t v =
+  let tail = Atomic.get t.tail in
+  if tail - Atomic.get t.head > t.mask then false
+  else begin
+    t.slots.(tail land t.mask) <- v;
+    (* Publishes the slot write: consumers load [tail] before the slot. *)
+    Atomic.set t.tail (tail + 1);
+    true
+  end
+
+let try_pop t =
+  let head = Atomic.get t.head in
+  if Atomic.get t.tail = head then None
+  else begin
+    let v = t.slots.(head land t.mask) in
+    t.slots.(head land t.mask) <- t.dummy;
+    Atomic.set t.head (head + 1);
+    Some v
+  end

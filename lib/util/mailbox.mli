@@ -1,0 +1,34 @@
+(** Bounded single-producer / single-consumer mailbox over OCaml 5 domains.
+
+    The sharded parallel engine owns one mailbox per ordered shard pair:
+    the source shard's domain is the only pusher, the destination shard's
+    domain the only popper.  Both operations are wait-free and
+    allocation-free (beyond the value itself); a full mailbox refuses the
+    push ([try_push] returns [false]) so the producer can apply
+    backpressure — in the engine it drains its own inboxes while retrying,
+    which makes the cyclic-blocking deadlock impossible.
+
+    The SPSC contract is a hard requirement, not an optimisation: two
+    concurrent pushers (or poppers) race on the same ring index. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** Capacity is rounded up to a power of two (default 1024).
+    @raise Invalid_argument when [capacity <= 0]. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+(** Linearizable estimate: exact when called from either endpoint's
+    domain. *)
+
+val is_empty : 'a t -> bool
+
+val try_push : 'a t -> 'a -> bool
+(** [false] when the ring is full (nothing was written).  Producer side
+    only. *)
+
+val try_pop : 'a t -> 'a option
+(** [None] when empty.  The vacated slot is cleared, so a popped value is
+    collectable as soon as the consumer releases it.  Consumer side only. *)

@@ -310,6 +310,35 @@ let suite_cases =
               Alcotest.fail (Property.render ~name:(Suites.name packed) c)))
     Suites.all
 
+(* ---------------- parcheck ---------------- *)
+
+module Parcheck = Mdst_check.Parcheck
+
+let test_parcheck_conformance () =
+  (* The merged (time, shard, seq) schedule of a 2-shard run must replay
+     through the reference model AND be accepted by the sequential engine
+     with exact final-state equality. *)
+  let g = Mdst_graph.Gen.grid ~rows:3 ~cols:3 in
+  let r =
+    Parcheck.Default.run_case
+      { Parcheck.graph = g; seed = 7; init = `Random; domains = 2; until = 25.0 }
+  in
+  (match r.Parcheck.failure with
+  | None -> ()
+  | Some why -> Alcotest.fail ("sharded schedule not conformant: " ^ why));
+  check "replayed a non-trivial schedule" true (r.Parcheck.events > 100)
+
+let test_parcheck_fingerprints () =
+  let g = Mdst_graph.Gen.grid ~rows:3 ~cols:3 in
+  let eq =
+    Parcheck.Default.fingerprint_equivalence ~max_rounds:20_000 ~seed:7 ~init:`Random
+      ~domains:[ 1; 2; 4 ] g
+  in
+  List.iter
+    (fun (d, converged, _) -> check (Printf.sprintf "domains=%d converged" d) true converged)
+    eq.Parcheck.per_domain;
+  check "fingerprints agree across shard counts" true eq.Parcheck.agree
+
 let () =
   Alcotest.run "check"
     [
@@ -358,5 +387,11 @@ let () =
             test_explore_walk_catches_mutant;
         ] );
       ("mutants", [ Alcotest.test_case "registry discriminates" `Quick test_mutation_check ]);
+      ( "parcheck",
+        [
+          Alcotest.test_case "sharded schedule conformance" `Quick test_parcheck_conformance;
+          Alcotest.test_case "fingerprint equivalence across shards" `Quick
+            test_parcheck_fingerprints;
+        ] );
       ("suites", suite_cases);
     ]

@@ -673,6 +673,38 @@ let test_metering_collected () =
   check "msg bits metered" true (r.max_msg_bits > 0);
   check "info messages flowed" true (List.mem_assoc "info" r.messages)
 
+(* ---------------- Parallel engine ---------------- *)
+
+let test_pengine_k_invariance () =
+  (* The sharded engine's schedule is independent of the shard count by
+     construction; the observable outcome must be bit-identical across k. *)
+  let g = Gen.grid ~rows:4 ~cols:4 in
+  let run d = Run.converge_par ~seed:5 ~init:`Random ~max_rounds:20_000 ~domains:d g in
+  let r1 = run 1 and r2 = run 2 and r3 = run 3 in
+  check "k=1 converges" true r1.Run.converged;
+  List.iter
+    (fun (label, r) ->
+      check (label ^ " converges") true r.Run.converged;
+      Alcotest.(check int) (label ^ " same rounds") r1.Run.rounds r.Run.rounds;
+      Alcotest.(check int) (label ^ " same messages") r1.Run.total_messages r.Run.total_messages;
+      Alcotest.(check (option int)) (label ^ " same degree") r1.Run.degree r.Run.degree)
+    [ ("k=2", r2); ("k=3", r3) ]
+
+let test_pengine_repeat_determinism () =
+  let g = Gen.grid ~rows:3 ~cols:3 in
+  let run () = Run.converge_par ~seed:11 ~init:`Random ~max_rounds:20_000 ~domains:2 g in
+  let a = run () and b = run () in
+  Alcotest.(check int) "same rounds across runs" a.Run.rounds b.Run.rounds;
+  Alcotest.(check int) "same messages across runs" a.Run.total_messages b.Run.total_messages
+
+let test_pengine_stabilizes_to_legit_tree () =
+  let g = Gen.grid ~rows:4 ~cols:4 in
+  let r = Run.converge_par ~seed:9 ~init:`Random ~max_rounds:30_000 ~fixpoint ~domains:2 g in
+  check "converged" true r.converged;
+  match r.tree with
+  | Some t -> check "FR fixpoint reached" true (fixpoint t)
+  | None -> Alcotest.fail "no legitimate tree at quiescence"
+
 let () =
   Alcotest.run "core"
     [
@@ -740,5 +772,12 @@ let () =
           Alcotest.test_case "removal keeps connectivity" `Quick test_remove_tree_edge_keeps_connectivity;
           Alcotest.test_case "trees have no removable edge" `Quick test_remove_tree_edge_none_on_tree;
           Alcotest.test_case "recovers after tree-edge loss" `Quick test_recover_after_tree_edge_loss;
+        ] );
+      ( "pengine",
+        [
+          Alcotest.test_case "outcome invariant in shard count" `Quick test_pengine_k_invariance;
+          Alcotest.test_case "repeat determinism" `Quick test_pengine_repeat_determinism;
+          Alcotest.test_case "stabilizes to FR fixpoint" `Quick
+            test_pengine_stabilizes_to_legit_tree;
         ] );
     ]

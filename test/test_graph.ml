@@ -524,6 +524,63 @@ let test_props_summary_keys () =
     (fun key -> check ("summary has " ^ key) true (List.mem_assoc key s))
     [ "nodes"; "edges"; "density"; "connected"; "diameter"; "degree assortativity" ]
 
+(* ---------------- Partition ---------------- *)
+
+module Partition = Mdst_graph.Partition
+
+let test_partition_balance () =
+  let g = Gen.by_name "grid" (rng ()) ~n:36 in
+  List.iter
+    (fun parts ->
+      let part = Partition.blocks g ~parts in
+      check "validate" true (Partition.validate g part ~parts);
+      let quota = Partition.part_sizes ~n:(Graph.n g) ~parts in
+      let sizes = Array.make parts 0 in
+      Array.iter (fun p -> sizes.(p) <- sizes.(p) + 1) part;
+      let lo = Array.fold_left min max_int quota and hi = Array.fold_left max 0 quota in
+      Array.iter (fun s -> check "within floor/ceil band" true (s >= lo && s <= hi)) sizes)
+    [ 2; 3; 4; 5 ]
+
+let test_partition_degenerate () =
+  let g = Gen.ring 6 in
+  check "parts=1 all zero" true (Array.for_all (( = ) 0) (Partition.blocks g ~parts:1));
+  Alcotest.(check int) "parts=1 no cut" 0
+    (Partition.cut_edges g (Partition.blocks g ~parts:1));
+  let solo = Partition.blocks g ~parts:10 in
+  let distinct = List.sort_uniq compare (Array.to_list solo) in
+  Alcotest.(check int) "parts>=n: one node per part" 6 (List.length distinct);
+  check "parts<=0 rejected" true
+    (try
+       ignore (Partition.blocks g ~parts:0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_partition_members () =
+  let g = Gen.by_name "grid" (rng ()) ~n:25 in
+  let parts = 4 in
+  let part = Partition.blocks g ~parts in
+  let members = Partition.members part ~parts in
+  let all = Array.to_list members |> List.concat_map Array.to_list |> List.sort compare in
+  check "members cover every node exactly once" true (all = List.init (Graph.n g) Fun.id);
+  Array.iteri
+    (fun s nodes -> Array.iter (fun v -> Alcotest.(check int) "member in its part" s part.(v)) nodes)
+    members
+
+let test_partition_cut_quality () =
+  (* BFS growth + greedy refinement must beat a striped split on a mesh:
+     the parallel engine's cross-shard traffic is proportional to the cut. *)
+  let g = Gen.by_name "grid" (rng ()) ~n:64 in
+  let parts = 4 in
+  let part = Partition.blocks g ~parts in
+  let striped = Array.init (Graph.n g) (fun v -> v mod parts) in
+  check "partitioner cut below striped cut" true
+    (Partition.cut_edges g part < Partition.cut_edges g striped)
+
+let test_partition_deterministic () =
+  let g = Gen.erdos_renyi_connected (rng ()) ~n:40 ~p:0.15 in
+  check "pure function of (graph, parts)" true
+    (Partition.blocks g ~parts:3 = Partition.blocks g ~parts:3)
+
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "graph"
@@ -600,5 +657,13 @@ let () =
           Alcotest.test_case "histogram" `Quick test_props_histogram;
           Alcotest.test_case "assortativity sign" `Quick test_props_assortativity_sign;
           Alcotest.test_case "summary keys" `Quick test_props_summary_keys;
+        ] );
+      ( "partition",
+        [
+          Alcotest.test_case "balance band + validate" `Quick test_partition_balance;
+          Alcotest.test_case "degenerate part counts" `Quick test_partition_degenerate;
+          Alcotest.test_case "members partition the nodes" `Quick test_partition_members;
+          Alcotest.test_case "cut beats random split on a grid" `Quick test_partition_cut_quality;
+          Alcotest.test_case "deterministic" `Quick test_partition_deterministic;
         ] );
     ]

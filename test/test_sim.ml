@@ -376,6 +376,87 @@ let test_rounds_reflect_causal_depth () =
      elapsed by the causal-depth definition. *)
   check "rounds >= chain depth" true (RelayEngine.rounds e >= n - 1)
 
+(* ---------------- Latency lookahead ---------------- *)
+
+let test_latency_min_delay () =
+  (* The parallel engine's conservative lookahead is exactly min_delay: a
+     zero or negative value would deadlock or unsound-execute the shards,
+     and the uniform default's 0.5 floor is what the shipped BENCH numbers
+     were measured under. *)
+  Alcotest.(check (float 0.0)) "uniform default floor" 0.5
+    (Latency.min_delay (Latency.by_name "uniform" 3));
+  Alcotest.(check (float 0.0)) "constant" 2.0 (Latency.min_delay (Latency.constant 2.0));
+  List.iter
+    (fun name ->
+      check (name ^ " lookahead positive") true (Latency.min_delay (Latency.by_name name 3) > 0.0))
+    Latency.names;
+  (* min_delay must actually bound the samples. *)
+  let rng = Prng.create 17 in
+  List.iter
+    (fun name ->
+      let m = Latency.by_name name 9 in
+      let d = Latency.min_delay m in
+      for _ = 1 to 200 do
+        check (name ^ " sample >= min_delay") true (Latency.sample m rng ~src:0 ~dst:1 >= d)
+      done)
+    Latency.names
+
+(* ---------------- Shard scaffolding ---------------- *)
+
+module Shard = Mdst_sim.Shard
+
+let test_shard_key_roundtrip () =
+  let cases =
+    [ (0, 0); (1, 0); (0, 1); (37, 12345); (Shard.max_shards - 1, (1 lsl Shard.seq_bits) - 1) ]
+  in
+  List.iter
+    (fun (shard, seq) ->
+      let k = Shard.key ~shard ~seq in
+      Alcotest.(check int) "shard survives" shard (Shard.key_shard k);
+      Alcotest.(check int) "seq survives" seq (Shard.key_seq k);
+      check "key non-negative" true (k >= 0))
+    cases
+
+let test_shard_key_order () =
+  (* Int comparison on keys = lexicographic (shard, seq): the heap's
+     tie-break relies on it. *)
+  check "same shard, seq orders" true (Shard.key ~shard:3 ~seq:5 < Shard.key ~shard:3 ~seq:6);
+  check "shard dominates seq" true
+    (Shard.key ~shard:2 ~seq:((1 lsl Shard.seq_bits) - 1) < Shard.key ~shard:3 ~seq:0)
+
+let test_shard_clocks () =
+  let c = Shard.Clocks.create 2 in
+  Alcotest.(check (float 0.0)) "starts at 0" 0.0 (Shard.Clocks.get c 0);
+  Shard.Clocks.advance c 0 1.5;
+  Alcotest.(check (float 0.0)) "advances" 1.5 (Shard.Clocks.get c 0);
+  Shard.Clocks.advance c 0 1.0;
+  Alcotest.(check (float 0.0)) "never moves backwards" 1.5 (Shard.Clocks.get c 0);
+  (* Regression: clocks at or above virtual time 2.0 (IEEE payload bit 62)
+     must keep advancing — an int-packed representation silently dropped
+     every publish past 2.0 and the shards deadlocked. *)
+  List.iter
+    (fun v ->
+      Shard.Clocks.advance c 1 v;
+      Alcotest.(check (float 0.0)) (Printf.sprintf "reaches %g" v) v (Shard.Clocks.get c 1))
+    [ 1.9; 2.0; 2.5; 1024.0; 1e9 ];
+  check "negative rejected" true
+    (try
+       Shard.Clocks.advance c 0 (-1.0);
+       false
+     with Invalid_argument _ -> true);
+  Shard.Clocks.infinity_ c 0;
+  check "poisoned clock is infinite" true (Shard.Clocks.get c 0 = infinity)
+
+let test_shard_in_shards () =
+  (* Path 0-1-2-3 split into pairs: only the middle edge crosses. *)
+  let g = Graph.of_edges ~n:4 [ (0, 1); (1, 2); (2, 3) ] in
+  let adj = Shard.in_shards g [| 0; 0; 1; 1 |] ~k:2 in
+  check "0 watches 1" true (adj.(0) = [| 1 |]);
+  check "1 watches 0" true (adj.(1) = [| 0 |]);
+  (* All in one shard: nothing to watch. *)
+  let adj1 = Shard.in_shards g [| 0; 0; 0; 0 |] ~k:1 in
+  check "no peers at k=1" true (adj1.(0) = [||])
+
 let () =
   Alcotest.run "sim"
     [
@@ -388,6 +469,14 @@ let () =
           Alcotest.test_case "uniform bounds" `Quick test_latency_uniform_bounds;
           Alcotest.test_case "exponential mean" `Quick test_latency_exponential_mean;
           Alcotest.test_case "node skew per receiver" `Quick test_latency_node_skew_is_per_receiver;
+          Alcotest.test_case "min_delay bounds samples" `Quick test_latency_min_delay;
+        ] );
+      ( "shard",
+        [
+          Alcotest.test_case "key roundtrip" `Quick test_shard_key_roundtrip;
+          Alcotest.test_case "key lexicographic order" `Quick test_shard_key_order;
+          Alcotest.test_case "clocks monotone, no 2.0 cliff" `Quick test_shard_clocks;
+          Alcotest.test_case "cross-shard adjacency" `Quick test_shard_in_shards;
         ] );
       ("metrics", [ Alcotest.test_case "accounting" `Quick test_metrics ]);
       ( "engine",

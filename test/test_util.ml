@@ -380,6 +380,170 @@ let test_parallel_real_work () =
     (List.map f seeds)
     (Parallel.map ~domains:4 f seeds)
 
+let test_parallel_domains1_no_spawn () =
+  (* The domains=1 fast path must run everything on the caller's domain —
+     benchmarks and tests rely on it having zero spawn overhead. *)
+  let self = Domain.self () in
+  let ids = Parallel.map ~domains:1 (fun _ -> Domain.self ()) (List.init 20 Fun.id) in
+  check "no spawned domain at domains=1" true (List.for_all (fun d -> d = self) ids)
+
+exception Boom_at of int
+
+let test_parallel_exception_from_spawned_domain () =
+  (* Rendezvous forces the two tasks onto two distinct domains: the first
+     executor blocks inside f until the second has started, so the second
+     necessarily runs on the other domain.  Both raise; the Err cells must
+     survive the join and re-raise in the caller (earliest input index
+     wins — results are scanned in order). *)
+  let turn = Atomic.make 0 in
+  let doms = Array.make 2 None in
+  (try
+     ignore
+       (Parallel.map ~domains:2
+          (fun i ->
+            let me = Atomic.fetch_and_add turn 1 in
+            doms.(me) <- Some (Domain.self ());
+            if me = 0 then
+              while Atomic.get turn < 2 do
+                Domain.cpu_relax ()
+              done;
+            raise (Boom_at i))
+          [ 0; 1 ]);
+     Alcotest.fail "expected Boom_at to propagate"
+   with Boom_at i -> Alcotest.(check int) "earliest input index re-raised" 0 i);
+  check "tasks ran on two distinct domains" true (doms.(0) <> doms.(1) && doms.(1) <> None)
+
+(* ---------------- Heap.push_at ---------------- *)
+
+let test_heap_push_at_tiebreak () =
+  let h = Heap.create () in
+  Heap.push_at h ~prio:1.0 ~seq:50 "late";
+  Heap.push_at h ~prio:1.0 ~seq:7 "early";
+  Heap.push_at h ~prio:0.5 ~seq:99 "first";
+  Alcotest.(check int) "top_seq reads the minimum's seq" 99 (Heap.top_seq h);
+  let pop_v () = match Heap.pop h with Some (_, v) -> v | None -> Alcotest.fail "empty" in
+  Alcotest.(check string) "smallest prio first" "first" (pop_v ());
+  Alcotest.(check string) "smaller seq breaks the tie" "early" (pop_v ());
+  Alcotest.(check string) "larger seq last" "late" (pop_v ())
+
+let test_heap_push_at_oracle () =
+  (* Stress against a sorted-list oracle: few distinct priorities (lots of
+     ties) with caller-supplied sequence numbers in shuffled insertion
+     order — pops must come out in exact (prio, seq) order regardless of
+     when each entry was pushed. *)
+  let rng = Prng.create 0x4ea9 in
+  for _round = 1 to 40 do
+    let n = 1 + Prng.int rng 200 in
+    let entries =
+      List.init n (fun i -> (float_of_int (Prng.int rng 6), i))
+    in
+    let shuffled = Array.of_list entries in
+    Prng.shuffle rng shuffled;
+    let h = Heap.create ~capacity:4 () in
+    Array.iter (fun (prio, seq) -> Heap.push_at h ~prio ~seq (prio, seq)) shuffled;
+    let oracle = List.sort compare entries in
+    let popped =
+      List.init n (fun _ ->
+          match Heap.pop h with Some (_, v) -> v | None -> Alcotest.fail "heap ran dry")
+    in
+    check "pops in (prio, seq) order" true (popped = oracle)
+  done
+
+let test_heap_push_at_releases () =
+  (* Same vacated-slot guarantee as push/pop: nothing popped stays
+     reachable from the backing array. *)
+  let h = Heap.create ~capacity:4 () in
+  let w = Weak.create 8 in
+  let fill () =
+    for i = 0 to 7 do
+      let v = ref i in
+      Weak.set w i (Some v);
+      Heap.push_at h ~prio:(float_of_int (i / 2)) ~seq:(7 - i) v
+    done
+  in
+  fill ();
+  heap_drain h;
+  Gc.full_major ();
+  Alcotest.(check int) "no popped value retained" 0 (weak_live w);
+  Heap.push_at h ~prio:1.0 ~seq:0 (ref 42);
+  Alcotest.(check int) "heap usable after drain" 1 (Heap.length h)
+
+(* ---------------- Mailbox ---------------- *)
+
+module Mailbox = Mdst_util.Mailbox
+
+let test_mailbox_fifo () =
+  let mb = Mailbox.create ~capacity:8 () in
+  for i = 0 to 5 do
+    check "push accepted" true (Mailbox.try_push mb i)
+  done;
+  Alcotest.(check int) "length" 6 (Mailbox.length mb);
+  for i = 0 to 5 do
+    Alcotest.(check (option int)) "FIFO order" (Some i) (Mailbox.try_pop mb)
+  done;
+  Alcotest.(check (option int)) "empty after drain" None (Mailbox.try_pop mb);
+  check "is_empty" true (Mailbox.is_empty mb)
+
+let test_mailbox_capacity_and_backpressure () =
+  let mb = Mailbox.create ~capacity:3 () in
+  Alcotest.(check int) "capacity rounds up to a power of two" 4 (Mailbox.capacity mb);
+  for i = 0 to 3 do
+    check "fills to capacity" true (Mailbox.try_push mb i)
+  done;
+  check "full ring refuses" false (Mailbox.try_push mb 99);
+  Alcotest.(check (option int)) "pop frees a slot" (Some 0) (Mailbox.try_pop mb);
+  check "push succeeds after pop" true (Mailbox.try_push mb 4);
+  check "bad capacity rejected" true
+    (try
+       ignore (Mailbox.create ~capacity:0 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_mailbox_pop_clears_slot () =
+  let mb = Mailbox.create ~capacity:4 () in
+  let w = Weak.create 4 in
+  let fill () =
+    for i = 0 to 3 do
+      let v = ref i in
+      Weak.set w i (Some v);
+      ignore (Mailbox.try_push mb v)
+    done
+  in
+  fill ();
+  for _ = 0 to 3 do
+    ignore (Mailbox.try_pop mb)
+  done;
+  Gc.full_major ();
+  Alcotest.(check int) "vacated slots cleared" 0 (weak_live w);
+  check "ring still usable" true (Mailbox.try_push mb (ref 9))
+
+let test_mailbox_cross_domain () =
+  (* The SPSC contract end to end: one producer domain, the caller
+     consuming, a ring far smaller than the stream so wrap-around and the
+     full/empty transitions are exercised thousands of times. *)
+  let mb = Mailbox.create ~capacity:16 () in
+  let total = 20_000 in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 0 to total - 1 do
+          while not (Mailbox.try_push mb i) do
+            Domain.cpu_relax ()
+          done
+        done)
+  in
+  let next = ref 0 in
+  let ok = ref true in
+  while !next < total do
+    match Mailbox.try_pop mb with
+    | Some v ->
+        if v <> !next then ok := false;
+        incr next
+    | None -> Domain.cpu_relax ()
+  done;
+  Domain.join producer;
+  check "stream arrived complete and in order" true !ok;
+  check "drained" true (Mailbox.is_empty mb)
+
 (* ---------------- Intset ---------------- *)
 
 module Intset = Mdst_util.Intset
@@ -465,6 +629,9 @@ let () =
           Alcotest.test_case "pop releases values" `Quick test_heap_pop_releases;
           Alcotest.test_case "filter releases removed values" `Quick test_heap_filter_releases;
           Alcotest.test_case "clear releases values" `Quick test_heap_clear_releases;
+          Alcotest.test_case "push_at tie-break" `Quick test_heap_push_at_tiebreak;
+          Alcotest.test_case "push_at vs sorted-list oracle" `Quick test_heap_push_at_oracle;
+          Alcotest.test_case "push_at releases popped values" `Quick test_heap_push_at_releases;
           q prop_heap_sorts;
           q prop_heap_grows;
         ] );
@@ -481,6 +648,17 @@ let () =
           Alcotest.test_case "sequential equivalence" `Quick test_parallel_sequential_equiv;
           Alcotest.test_case "exception propagation" `Quick test_parallel_propagates_exception;
           Alcotest.test_case "deterministic real work" `Quick test_parallel_real_work;
+          Alcotest.test_case "domains=1 never spawns" `Quick test_parallel_domains1_no_spawn;
+          Alcotest.test_case "exception from spawned domain" `Quick
+            test_parallel_exception_from_spawned_domain;
+        ] );
+      ( "mailbox",
+        [
+          Alcotest.test_case "FIFO order" `Quick test_mailbox_fifo;
+          Alcotest.test_case "capacity + backpressure" `Quick
+            test_mailbox_capacity_and_backpressure;
+          Alcotest.test_case "pop clears the slot" `Quick test_mailbox_pop_clears_slot;
+          Alcotest.test_case "cross-domain stream" `Quick test_mailbox_cross_domain;
         ] );
       ("sizing", [ Alcotest.test_case "bit accounting" `Quick test_sizing ]);
     ]
